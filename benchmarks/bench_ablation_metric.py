@@ -1,0 +1,80 @@
+"""Ablation — the custom metric's annotation features.
+
+The paper argues the metric must mix perceptual similarity with
+annotation overlap (Section 2.3's weight rationale).  This bench builds
+the Fig. 7 graph under three weightings — perceptual only, annotations
+only, and the paper's blend — and compares how well connected components
+align with meme identity.  The measured trade-off: perceptual-only
+connects more pairs but pollutes components with cross-meme edges
+(lower purity); the blend keeps components meme-pure — the property
+Fig. 7's "one colour per component" depends on.
+"""
+
+import networkx as nx
+
+from benchmarks.conftest import once
+from repro.analysis.graph import build_cluster_graph, component_purity
+from repro.core.config import MetricWeights
+from repro.utils.tables import format_table
+
+
+def _same_meme_pairs_connected(result, graph: nx.Graph) -> int:
+    """Connected node pairs sharing a representative annotation."""
+    count = 0
+    for component in nx.connected_components(graph):
+        nodes = list(component)
+        labels = [graph.nodes[n]["label"] for n in nodes]
+        for i in range(len(nodes)):
+            for j in range(i + 1, len(nodes)):
+                if labels[i] == labels[j]:
+                    count += 1
+    return count
+
+
+def test_ablation_metric_features(benchmark, bench_pipeline, write_output):
+    weightings = {
+        "perceptual only": MetricWeights.partial_mode(),
+        "annotations only": MetricWeights(
+            perceptual=0.0, meme=0.8, people=0.1, culture=0.1
+        ),
+        "paper blend": MetricWeights(),
+    }
+
+    def run():
+        outcomes = {}
+        for name, weights in weightings.items():
+            graph = build_cluster_graph(
+                bench_pipeline, kappa=0.45, weights=weights
+            )
+            summary = component_purity(graph)
+            pairs = _same_meme_pairs_connected(bench_pipeline, graph)
+            outcomes[name] = (summary, pairs)
+        return outcomes
+
+    outcomes = once(benchmark, run)
+    text = format_table(
+        [
+            [
+                name,
+                summary.n_edges,
+                summary.n_components,
+                f"{summary.weighted_component_purity:.2f}",
+                pairs,
+            ]
+            for name, (summary, pairs) in outcomes.items()
+        ],
+        headers=["weights", "edges", "components", "purity", "same-meme pairs"],
+        title="Ablation: metric feature weights vs graph quality (kappa=0.45)",
+    )
+    write_output("ablation_metric", text)
+
+    blend_summary, blend_pairs = outcomes["paper blend"]
+    perceptual_summary, perceptual_pairs = outcomes["perceptual only"]
+    # The blend keeps components meme-pure (Fig. 7's colour-purity)...
+    assert blend_summary.weighted_component_purity >= 0.85
+    assert (
+        blend_summary.weighted_component_purity
+        >= perceptual_summary.weighted_component_purity
+    )
+    # ...while still recovering same-meme structure.
+    assert blend_pairs > 0

@@ -1,0 +1,59 @@
+"""Fig. 10 — the Hawkes mechanics illustration, executed.
+
+The figure explains how events raise intensities and how root causes are
+attributed probabilistically.  This bench runs the actual machinery on a
+three-process model: simulate with ground-truth parents, attribute with
+the true model, and verify the attribution mass tracks the latent
+structure event by event.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.hawkes import (
+    ExponentialKernel,
+    HawkesModel,
+    attribute_root_causes,
+    simulate_branching,
+)
+from repro.utils.tables import format_table
+
+
+def test_fig10_attribution_mechanics(benchmark, write_output):
+    model = HawkesModel(
+        background=np.array([0.3, 0.25, 0.2]),
+        weights=np.array(
+            [[0.2, 0.25, 0.1], [0.05, 0.2, 0.25], [0.1, 0.05, 0.2]]
+        ),
+        kernel=ExponentialKernel(2.0),
+    )
+    rng = np.random.default_rng(10)
+
+    def run():
+        simulations = [simulate_branching(model, 300.0, rng) for _ in range(6)]
+        agreement = []
+        for simulation in simulations:
+            roots = attribute_root_causes(model, simulation.sequence)
+            # Probability mass the estimator assigns to the true root.
+            mass = roots[np.arange(len(roots)), simulation.roots]
+            agreement.append(float(mass.mean()))
+        return simulations, agreement
+
+    simulations, agreement = once(benchmark, run)
+    n_events = sum(len(s.sequence) for s in simulations)
+    n_immigrants = sum(int((s.parents == -1).sum()) for s in simulations)
+    text = format_table(
+        [
+            ["events simulated", n_events],
+            ["immigrants (background)", n_immigrants],
+            ["offspring", n_events - n_immigrants],
+            ["mean mass on true root", f"{np.mean(agreement):.2f}"],
+        ],
+        title="Fig. 10: Hawkes attribution mechanics",
+    )
+    write_output("fig10_hawkes_demo", text)
+
+    # The attribution must beat the uniform baseline (1/3) by a wide
+    # margin — causes are identifiable, as the figure argues.
+    assert np.mean(agreement) > 0.6
+    assert 0 < n_immigrants < n_events

@@ -1,0 +1,60 @@
+"""Fig. 11 — percent of destination events caused by each source (raw).
+
+Paper: the self-cell is the largest influence for every destination
+(90-97%); after that, /pol/ is the strongest external source for Reddit,
+The_Donald and Gab, but *Twitter is most influenced by Reddit*.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.analysis.influence import ground_truth_influence
+from repro.communities.models import COMMUNITIES, DISPLAY_NAMES
+from repro.utils.tables import format_table
+
+
+def matrix_table(matrix: np.ndarray, title: str) -> str:
+    rows = [
+        [DISPLAY_NAMES[COMMUNITIES[s]]]
+        + [f"{matrix[s, d]:.2f}%" for d in range(len(COMMUNITIES))]
+        for s in range(len(COMMUNITIES))
+    ]
+    headers = ["Source \\ Dest"] + [DISPLAY_NAMES[c] for c in COMMUNITIES]
+    return format_table(rows, headers=headers, title=title)
+
+
+def test_fig11_raw_influence(
+    benchmark, bench_world, bench_influence, write_output
+):
+    pct = once(benchmark, bench_influence.total.percent_of_destination)
+    truth = ground_truth_influence(bench_world).percent_of_destination()
+    text = "\n\n".join(
+        [
+            matrix_table(pct, "Fig. 11: % of destination events caused by source (estimated)"),
+            matrix_table(truth, "Fig. 11 (ground truth from the generator)"),
+        ]
+    )
+    write_output("fig11_influence", text)
+
+    index = {name: k for k, name in enumerate(COMMUNITIES)}
+    counts = bench_influence.total.event_counts
+    # Self-influence dominates each destination column.
+    for destination in range(len(COMMUNITIES)):
+        if counts[destination] < 30:
+            continue
+        column = pct[:, destination]
+        assert column[destination] == column.max()
+    # /pol/ is the strongest external source for Reddit and The_Donald.
+    for destination in ("reddit", "the_donald"):
+        d = index[destination]
+        external = {
+            source: pct[index[source], d]
+            for source in COMMUNITIES
+            if source != destination
+        }
+        assert max(external, key=external.get) == "pol", (destination, external)
+    # Estimated matrix within tolerance of planted truth on big columns.
+    for d in range(len(COMMUNITIES)):
+        if counts[d] < 100:
+            continue
+        assert np.all(np.abs(pct[:, d] - truth[:, d]) < 15.0)

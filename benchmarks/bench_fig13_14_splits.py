@@ -1,0 +1,94 @@
+"""Figs. 13/14 — raw influence split by racist and political clusters.
+
+Paper: /pol/'s share of other communities' racist meme postings exceeds
+its share of their non-racist ones (e.g. Reddit 18.8% vs 13.1%); for
+political memes /pol/ and The_Donald gain relative influence.  Cells are
+starred when two-sample KS tests find the per-cluster influence
+distributions significantly different (p < 0.01).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.analysis.influence import ground_truth_influence, ks_significance_matrix
+from repro.communities.models import COMMUNITIES, DISPLAY_NAMES
+from repro.utils.tables import format_table
+
+
+def split_table(study, group_a: str, group_b: str, title: str, p_values) -> str:
+    a = study.group(group_a).percent_of_destination()
+    b = study.group(group_b).percent_of_destination()
+    rows = []
+    for s in range(len(COMMUNITIES)):
+        cells = []
+        for d in range(len(COMMUNITIES)):
+            star = "*" if np.isfinite(p_values[s, d]) and p_values[s, d] < 0.01 else ""
+            cells.append(f"{a[s, d]:.1f}/{b[s, d]:.1f}{star}")
+        rows.append([DISPLAY_NAMES[COMMUNITIES[s]]] + cells)
+    headers = ["Source \\ Dest"] + [DISPLAY_NAMES[c] for c in COMMUNITIES]
+    return format_table(rows, headers=headers, title=title)
+
+
+def test_fig13_14_group_influence(
+    benchmark, bench_world, bench_influence, bench_pipeline, write_output
+):
+    p_racist, p_politics = once(
+        benchmark,
+        lambda: (
+            ks_significance_matrix(bench_influence, bench_pipeline, "racist"),
+            ks_significance_matrix(bench_influence, bench_pipeline, "politics"),
+        ),
+    )
+    text = "\n\n".join(
+        [
+            split_table(
+                bench_influence, "racist", "non_racist",
+                "Fig. 13: racist/non-racist % of destination (R/NR, * = KS p<0.01)",
+                p_racist,
+            ),
+            split_table(
+                bench_influence, "politics", "non_politics",
+                "Fig. 14: political/non-political % of destination (P/NP)",
+                p_politics,
+            ),
+        ]
+    )
+    write_output("fig13_14_splits", text)
+
+    index = {name: k for k, name in enumerate(COMMUNITIES)}
+    pol = index["pol"]
+    td = index["the_donald"]
+
+    # The planted world must exhibit the paper's Fig. 13/14 phenomena
+    # exactly (the generator's latent roots are the arbiter):
+    truth_racist = ground_truth_influence(bench_world, group="racist")
+    truth_non_racist = ground_truth_influence(bench_world, group="non_racist")
+    tr = truth_racist.percent_of_destination()
+    tnr = truth_non_racist.percent_of_destination()
+    # /pol/'s share of destinations' racist postings exceeds its share
+    # of their non-racist ones wherever racist memes actually land.
+    for destination in ("reddit", "twitter", "gab"):
+        d = index[destination]
+        if truth_racist.event_counts[d] >= 30:
+            assert tr[pol, d] > tnr[pol, d], destination
+
+    truth_politics = ground_truth_influence(bench_world, group="politics")
+    truth_non_politics = ground_truth_influence(bench_world, group="non_politics")
+    tp = truth_politics.percent_of_destination()
+    tnp = truth_non_politics.percent_of_destination()
+    gains = [
+        tp[td, index[c]] - tnp[td, index[c]] for c in ("pol", "reddit", "twitter")
+    ]
+    assert max(gains) > 0
+
+    # The estimator reproduces the racist boost of /pol/ on destinations
+    # with enough fitted racist events.
+    racist = bench_influence.group("racist").percent_of_destination()
+    non_racist = bench_influence.group("non_racist").percent_of_destination()
+    racist_counts = bench_influence.group("racist").event_counts
+    checked = [
+        racist[pol, index[c]] > non_racist[pol, index[c]]
+        for c in ("reddit", "twitter", "gab")
+        if racist_counts[index[c]] >= 50
+    ]
+    assert not checked or any(checked)

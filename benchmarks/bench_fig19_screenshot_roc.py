@@ -1,0 +1,47 @@
+"""Fig. 19 / Appendix C — the screenshot classifier.
+
+Paper: AUC 0.96, accuracy 91.3%, precision 94.3%, recall 93.5%,
+F1 93.9% on the 20% holdout of the 28.8K-image curated dataset.
+"""
+
+from benchmarks.conftest import once
+from repro.annotation.screenshots import (
+    ScreenshotClassifier,
+    build_screenshot_dataset,
+)
+from repro.utils.rng import derive_rng
+from repro.utils.tables import format_table
+
+
+def test_fig19_screenshot_classifier(benchmark, bench_world, write_output):
+    rng = derive_rng(77, "bench-classifier")
+
+    def run():
+        x, y = build_screenshot_dataset(
+            bench_world.library, rng, n_screenshots=350, n_organic=350
+        )
+        classifier = ScreenshotClassifier(rng)
+        x_train, y_train, x_test, y_test = classifier.train_eval_split(x, y, rng)
+        classifier.fit(x_train, y_train, epochs=6)
+        return classifier.evaluate(x_test, y_test)
+
+    report = once(benchmark, run)
+    text = format_table(
+        [
+            ["AUC", f"{report.auc:.3f}", "0.96"],
+            ["accuracy", f"{report.accuracy:.3f}", "0.913"],
+            ["precision", f"{report.precision:.3f}", "0.943"],
+            ["recall", f"{report.recall:.3f}", "0.935"],
+            ["F1", f"{report.f1:.3f}", "0.939"],
+            ["ROC points", str(len(report.fpr)), "-"],
+        ],
+        headers=["metric", "measured", "paper"],
+        title="Fig. 19: screenshot classifier holdout evaluation",
+    )
+    write_output("fig19_screenshot_roc", text)
+
+    assert report.auc >= 0.93
+    assert report.accuracy >= 0.88
+    assert report.precision >= 0.85
+    assert report.recall >= 0.85
+    assert report.f1 >= 0.88

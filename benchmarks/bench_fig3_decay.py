@@ -1,0 +1,39 @@
+"""Fig. 3 — the perceptual-similarity decay for tau in {1, 25, 64}.
+
+The figure plots r_perceptual over all Hamming scores d in [0, 64] for
+three smoothers.  The quoted anchor points: tau=1 drops to ~0.4 at d=1;
+tau=64 decays almost linearly (0.98 at d=1); tau=25 stays high to d=8.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.core.metric import perceptual_similarity
+from repro.utils.tables import format_table
+
+
+def test_fig3_perceptual_decay(benchmark, write_output):
+    d = np.arange(0, 65)
+    curves = once(
+        benchmark,
+        lambda: {tau: perceptual_similarity(d, tau=tau) for tau in (1.0, 25.0, 64.0)},
+    )
+    sample_points = [0, 1, 4, 8, 16, 32, 64]
+    rows = [
+        [point] + [f"{curves[tau][point]:.3f}" for tau in (1.0, 25.0, 64.0)]
+        for point in sample_points
+    ]
+    text = format_table(
+        rows,
+        headers=["d", "tau=1", "tau=25", "tau=64"],
+        title="Fig. 3: r_perceptual(d) for tau in {1, 25, 64}",
+    )
+    write_output("fig3_decay", text)
+
+    assert curves[1.0][0] == 1.0
+    assert abs(curves[1.0][1] - 0.4) < 0.04
+    assert abs(curves[64.0][1] - 0.98) < 0.01
+    assert curves[25.0][8] > 0.7
+    assert curves[25.0][32] < 0.3
+    for tau in curves:
+        assert np.all(np.diff(curves[tau]) < 0)

@@ -1,0 +1,32 @@
+"""Fig. 7 — the cluster visualisation graph at kappa = 0.45.
+
+Paper: "a large set of disconnected components, with each component
+containing nodes of primarily one color" — i.e. the custom metric
+separates memes into label-pure components.
+"""
+
+from benchmarks.conftest import once
+from repro.analysis.graph import build_cluster_graph, component_purity
+from repro.utils.tables import format_table
+
+
+def test_fig7_cluster_graph(benchmark, bench_pipeline, write_output):
+    graph = once(
+        benchmark, lambda: build_cluster_graph(bench_pipeline, kappa=0.45)
+    )
+    summary = component_purity(graph)
+    text = format_table(
+        [
+            ["nodes (annotated clusters)", summary.n_nodes],
+            ["edges (distance < 0.45)", summary.n_edges],
+            ["connected components", summary.n_components],
+            ["mean purity (multi-node)", f"{summary.mean_component_purity:.2f}"],
+            ["weighted purity", f"{summary.weighted_component_purity:.2f}"],
+        ],
+        title="Fig. 7: cluster graph structure at kappa=0.45",
+    )
+    write_output("fig7_graph", text)
+
+    assert summary.n_nodes == len(bench_pipeline.cluster_keys)
+    assert summary.n_components > 5  # many disconnected components
+    assert summary.weighted_component_purity > 0.8  # colour-pure

@@ -1,0 +1,68 @@
+"""Fig. 8 — percentage of posts per day containing memes.
+
+Paper: activity peaks around the 2016 US election on /pol/ and Reddit;
+Twitter's politics series peaks at the 2nd presidential debate; Gab's
+meme usage grows over time; /pol/ shares racist memes steadily while Gab
+is bursty; fringe communities carry far more racist memes than
+mainstream ones.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.analysis.temporal import daily_meme_share
+from repro.utils.tables import format_table
+
+
+def test_fig8_temporal_series(benchmark, bench_world, bench_pipeline, write_output):
+    series = once(
+        benchmark,
+        lambda: {
+            group: daily_meme_share(bench_world, bench_pipeline, group=group)
+            for group in ("all", "racist", "politics")
+        },
+    )
+    config = bench_world.config
+    rows = []
+    for group, data in series.items():
+        for community in ("pol", "reddit", "twitter", "gab"):
+            rows.append(
+                [
+                    group,
+                    community,
+                    f"{data.percent_by_community[community].mean():.3f}",
+                    f"{data.peak_day(community):.0f}",
+                ]
+            )
+    text = format_table(
+        rows,
+        headers=["group", "community", "mean %/day", "peak day"],
+        title=(
+            "Fig. 8: daily meme share (election day "
+            f"~{config.election_day:.0f}, debate ~{config.debate_day:.0f})"
+        ),
+    )
+    write_output("fig8_temporal", text)
+
+    politics = series["politics"]
+    # Election window elevated on /pol/ and Reddit.
+    for community in ("pol", "reddit"):
+        window = politics.mean_share(
+            community,
+            config.election_day - config.election_width,
+            config.election_day + config.election_width,
+        )
+        late = politics.mean_share(community, 250.0, config.horizon_days)
+        assert window > late, community
+
+    # Gab's meme usage grows: second half above first half.
+    gab_all = series["all"].percent_by_community["gab"]
+    half = len(gab_all) // 2
+    assert gab_all[half:].mean() > gab_all[:half].mean()
+
+    # Racist series: fringe far above mainstream.
+    racist = series["racist"]
+    assert (
+        racist.percent_by_community["pol"].mean()
+        > 3 * racist.percent_by_community["twitter"].mean()
+    )

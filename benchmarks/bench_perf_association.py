@@ -1,0 +1,42 @@
+"""Section 7 (Performance) — association throughput.
+
+Paper: comparing 74M Twitter images against the 12K annotated medoids
+took 12 days on two Titan Xp GPUs — 73 images/second.  This bench
+measures the multi-index-hashing association path on commodity CPU and
+reports the equivalent figure.
+"""
+
+import numpy as np
+
+from repro.annotation.association import associate_hashes
+from repro.utils.tables import format_table
+
+
+def test_perf_association_throughput(
+    benchmark, bench_world, bench_pipeline, write_output
+):
+    medoids = {
+        index: int(annotation.medoid_hash)
+        for index, key in enumerate(bench_pipeline.cluster_keys)
+        for annotation in [bench_pipeline.annotations[key]]
+    }
+    hashes = np.array([post.phash for post in bench_world.posts], dtype=np.uint64)
+
+    result = benchmark(lambda: associate_hashes(hashes, medoids, theta=8))
+    stats = benchmark.stats.stats
+    throughput = hashes.size / stats.mean
+    text = format_table(
+        [
+            ["images", hashes.size],
+            ["annotated medoids", len(medoids)],
+            ["mean wall time (s)", f"{stats.mean:.3f}"],
+            ["throughput (images/s)", f"{throughput:,.0f}"],
+            ["paper (2x Titan Xp, brute force)", "73 images/s"],
+        ],
+        title="Performance: Step 6 association throughput (MIH, CPU)",
+    )
+    write_output("perf_association", text)
+
+    # The index must beat the paper's brute-force GPU number by orders
+    # of magnitude at this scale.
+    assert throughput > 1000

@@ -1,0 +1,62 @@
+"""Table 2 — clustering statistics per fringe community.
+
+Paper:
+
+    Platform  #Images    Noise  #Clusters  #Clusters w/ KYM tags
+    /pol/     4,325,648  63%    38,851     9,265 (24%)
+    T_D       1,234,940  64%    21,917     2,902 (13%)
+    Gab         235,222  69%     3,083       447 (15%)
+
+Shape to reproduce: noise in the 60-75% band everywhere; /pol/ with by
+far the most clusters; a minority of clusters annotated.
+"""
+
+from benchmarks.conftest import once
+from repro.communities.models import DISPLAY_NAMES, FRINGE_COMMUNITIES
+from repro.core import PipelineConfig
+from repro.core.pipeline import cluster_community
+from repro.utils.tables import format_table
+
+
+def test_table2_clustering_statistics(
+    benchmark, bench_world, bench_pipeline, write_output
+):
+    # Time the heaviest clustering (the /pol/ image multiset).
+    once(
+        benchmark,
+        lambda: cluster_community("pol", bench_world.posts, PipelineConfig()),
+    )
+    rows = []
+    for community in FRINGE_COMMUNITIES:
+        clustering = bench_pipeline.clusterings[community]
+        annotated = bench_pipeline.n_annotated(community)
+        rows.append(
+            [
+                DISPLAY_NAMES[community],
+                clustering.n_images,
+                f"{100 * clustering.image_noise_fraction:.0f}%",
+                clustering.n_clusters,
+                f"{annotated} ({100 * annotated / max(clustering.n_clusters, 1):.0f}%)",
+            ]
+        )
+    text = format_table(
+        rows,
+        headers=["Platform", "#Images", "Noise", "#Clusters", "#Annotated"],
+        title="Table 2: clustering statistics (synthetic world)",
+    )
+    write_output("table2_clustering", text)
+
+    pol = bench_pipeline.clusterings["pol"]
+    td = bench_pipeline.clusterings["the_donald"]
+    gab = bench_pipeline.clusterings["gab"]
+    # Paper band (63-69%), with slack for the small communities.
+    assert 0.50 <= pol.image_noise_fraction <= 0.80
+    assert 0.50 <= td.image_noise_fraction <= 0.85
+    assert 0.50 <= gab.image_noise_fraction <= 0.85
+    # /pol/ produces the most clusters, Gab the fewest.
+    assert pol.n_clusters > td.n_clusters > gab.n_clusters
+    # Only part of the clusters receive KYM annotations.
+    for community in FRINGE_COMMUNITIES:
+        clustering = bench_pipeline.clusterings[community]
+        annotated = bench_pipeline.n_annotated(community)
+        assert 0 < annotated < clustering.n_clusters

@@ -1,0 +1,63 @@
+"""Table 4 — top meme entries by number of matched posts per community.
+
+Paper headlines reproduced here: frog memes dominate /pol/ (Sad Frog
+4.9%, Smug Frog 4.8%, Happy Merchant 3.8%); mainstream communities lead
+with neutral reaction memes (Roll Safe / Evil Kermit on Twitter,
+Manning Face / That's the Joke on Reddit); racist memes are marked (R),
+politics memes (P).
+"""
+
+from benchmarks.conftest import once
+from repro.analysis.popularity import top_entries_by_posts
+from repro.communities.models import DISPLAY_NAMES
+from repro.utils.tables import format_table
+
+TABLE4_COMMUNITIES = ("pol", "reddit", "gab", "twitter")
+
+
+def test_table4_top_memes_by_posts(
+    benchmark, bench_world, bench_pipeline, write_output
+):
+    site = bench_world.kym_site
+    tables = once(
+        benchmark,
+        lambda: {
+            community: top_entries_by_posts(
+                bench_pipeline, site, community, n=20, category="memes"
+            )
+            for community in TABLE4_COMMUNITIES
+        },
+    )
+    sections = []
+    for community, rows in tables.items():
+        text = format_table(
+            [
+                [row.entry, row.count, f"{row.percent:.1f}%", row.markers()]
+                for row in rows
+            ],
+            headers=["Entry", "Posts", "%", ""],
+            title=f"Table 4 ({DISPLAY_NAMES[community]}): top memes by posts",
+        )
+        sections.append(text)
+    write_output("table4_top_memes", "\n\n".join(sections))
+
+    def racist_share(community):
+        rows = tables[community]
+        total = sum(row.count for row in rows) or 1
+        return sum(row.count for row in rows if row.is_racist) / total
+
+    # Fringe communities over-index on racist memes vs mainstream.
+    assert racist_share("pol") > racist_share("twitter")
+    assert racist_share("gab") >= racist_share("twitter")
+
+    # Frog memes rank high on /pol/.
+    pol_top10 = {row.entry for row in tables["pol"][:10]}
+    frogs = {"pepe-the-frog", "smug-frog", "feels-bad-man-sad-frog",
+             "apu-apustaja", "angry-pepe", "cult-of-kek"}
+    assert pol_top10 & frogs
+
+    # Mainstream tops with neutral memes.
+    twitter_top5 = tables["twitter"][:5]
+    assert any(
+        not row.is_racist and not row.is_politics for row in twitter_top5
+    )

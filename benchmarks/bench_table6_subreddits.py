@@ -1,0 +1,41 @@
+"""Table 6 — top subreddits for all / racist / politics memes.
+
+Paper: The_Donald tops all three lists (12.5% of all meme posts, 9.3% of
+racist, 26.4% of politics); AdviceAnimals appears in every list; the
+top-ten covers only a minority of Reddit's meme posts (long tail).
+"""
+
+from benchmarks.conftest import once
+from repro.analysis.subreddits import top_subreddits
+from repro.utils.tables import format_table
+
+
+def test_table6_top_subreddits(benchmark, bench_pipeline, write_output):
+    tables = once(
+        benchmark,
+        lambda: {
+            group: top_subreddits(bench_pipeline, group=group, n=10)
+            for group in ("all", "racist", "politics")
+        },
+    )
+    sections = []
+    for group, rows in tables.items():
+        text = format_table(
+            [[row.subreddit, row.posts, f"{row.percent:.1f}%"] for row in rows],
+            headers=["Subreddit", "Posts", "%"],
+            title=f"Table 6 ({group} memes): top subreddits",
+        )
+        sections.append(text)
+    write_output("table6_subreddits", "\n\n".join(sections))
+
+    for group in ("all", "politics"):
+        assert tables[group][0].subreddit == "The_Donald", group
+    # The_Donald's share of politics memes exceeds its share of all memes.
+    all_share = tables["all"][0].percent
+    politics_share = tables["politics"][0].percent
+    assert politics_share > all_share
+    # AdviceAnimals infiltrates the lists (paper Section 4.2.4).
+    named = {row.subreddit for rows in tables.values() for row in rows}
+    assert "AdviceAnimals" in named
+    # Long tail: the top ten do not cover the majority of meme posts.
+    assert sum(row.percent for row in tables["all"]) < 60.0

@@ -1,0 +1,38 @@
+"""Table 7 — Hawkes events per community (the fitted clusters).
+
+Paper:
+
+    /pol/      Twitter  Reddit   T_D     Gab
+    1,574,045  865,885  581,803  81,924  44,918
+
+Shape: /pol/ first, then Twitter, then Reddit, then The_Donald, then Gab.
+"""
+
+from benchmarks.conftest import once
+from repro.analysis.influence import cluster_event_sequences
+from repro.communities.models import COMMUNITIES, DISPLAY_NAMES
+from repro.utils.tables import format_table
+
+
+def test_table7_events_per_community(
+    benchmark, bench_world, bench_pipeline, bench_influence, write_output
+):
+    once(
+        benchmark,
+        lambda: cluster_event_sequences(
+            bench_pipeline, bench_world.config.horizon_days, min_events=10
+        ),
+    )
+    counts = dict(zip(COMMUNITIES, bench_influence.event_counts()))
+    ordered = sorted(counts.items(), key=lambda item: -item[1])
+    text = format_table(
+        [[DISPLAY_NAMES[name], int(count)] for name, count in ordered],
+        headers=["Community", "Events"],
+        title="Table 7: meme events per community (fitted clusters)",
+    )
+    write_output("table7_events", text)
+
+    assert counts["pol"] > counts["twitter"]
+    assert counts["twitter"] > counts["reddit"]
+    assert counts["reddit"] > counts["the_donald"]
+    assert counts["the_donald"] > counts["gab"] * 0.8

@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper's
+evaluation on a benchmark-scale synthetic world (larger than the test
+world).  The expensive artefacts — the world, the pipeline run, the
+influence study — are session-scoped and shared by all benches.  Each
+bench renders its table/series to ``benchmarks/output/<id>.txt`` so the
+rows can be compared with the published ones (EXPERIMENTS.md records the
+comparison).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.influence import influence_study
+from repro.communities import SyntheticWorld, WorldConfig
+from repro.core import PipelineConfig, run_pipeline
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+BENCH_WORLD_CONFIG = WorldConfig(seed=2018, events_unit=150.0)
+
+
+@pytest.fixture(scope="session")
+def bench_world() -> SyntheticWorld:
+    return SyntheticWorld.generate(BENCH_WORLD_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline(bench_world):
+    return run_pipeline(bench_world, PipelineConfig())
+
+
+@pytest.fixture(scope="session")
+def bench_influence(bench_world, bench_pipeline):
+    return influence_study(
+        bench_pipeline, bench_world.config.horizon_days, min_events=10
+    )
+
+
+@pytest.fixture(scope="session")
+def write_output():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return write
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+"""Content moderation with the meme monitor — the paper's deployment story.
+
+The paper's discussion: "our pipeline can already be used by social
+network providers to assist the identification of hateful content...
+our methodology can help them automatically identify hateful variants
+[of Pepe the Frog]."
+
+This example plays that scenario end to end:
+
+1. build the knowledge base — run the pipeline over the synthetic
+   ecosystem (clusters annotated with racist/politics flags),
+2. wrap it in a :class:`~repro.core.MemeMonitor`,
+3. simulate a moderation queue: a stream of *new* uploads (fresh meme
+   variants the pipeline never saw, plus innocuous images),
+4. report precision/recall of the racist-content flagging.
+
+Run:  python examples/content_moderation.py
+"""
+
+import numpy as np
+
+from repro.communities import SyntheticWorld, WorldConfig
+from repro.core import MemeMonitor, PipelineConfig, run_pipeline
+from repro.images.transforms import random_variant
+from repro.utils.rng import derive_rng
+from repro.utils.tables import print_table
+
+
+def main() -> None:
+    print("Building the knowledge base (pipeline over the ecosystem)...\n")
+    world = SyntheticWorld.generate(WorldConfig(seed=21, events_unit=70.0))
+    result = run_pipeline(world, PipelineConfig())
+    monitor = MemeMonitor(result)
+    flagged = monitor.flagged_entries()
+    n_racist = sum(1 for racist, _ in flagged.values() if racist)
+    print(f"Monitor knows {len(monitor)} meme clusters "
+          f"({len(flagged)} entries, {n_racist} flagged racist).\n")
+
+    # A moderation queue of brand-new uploads: unseen variants of known
+    # memes plus unrelated images.
+    rng = derive_rng(99, "uploads")
+    queue = []
+    for entry in world.catalog:
+        if entry.category not in ("memes", "people"):
+            continue
+        base = world.library[entry.name].render(64)
+        for _ in range(6):
+            queue.append((random_variant(base, rng), entry.is_racist))
+    from repro.annotation.kym import random_one_off_image
+
+    for _ in range(60):
+        queue.append((random_one_off_image(rng), False))
+    order = rng.permutation(len(queue))
+    queue = [queue[int(i)] for i in order]
+
+    print(f"Classifying a queue of {len(queue)} fresh uploads...\n")
+    true_positive = false_positive = false_negative = true_negative = 0
+    matched_total = 0
+    for image, truly_racist in queue:
+        verdict = monitor.classify_image(image)
+        matched_total += int(verdict.matched)
+        flagged_racist = verdict.matched and verdict.is_racist
+        if truly_racist and flagged_racist:
+            true_positive += 1
+        elif truly_racist:
+            false_negative += 1
+        elif flagged_racist:
+            false_positive += 1
+        else:
+            true_negative += 1
+
+    precision = true_positive / max(true_positive + false_positive, 1)
+    recall = true_positive / max(true_positive + false_negative, 1)
+    print_table(
+        [
+            ["queue size", len(queue)],
+            ["matched a known meme", matched_total],
+            ["racist flagged (TP)", true_positive],
+            ["racist missed (FN)", false_negative],
+            ["wrongly flagged (FP)", false_positive],
+            ["precision", f"{precision:.2f}"],
+            ["recall", f"{recall:.2f}"],
+        ],
+        title="Moderation-queue results (racist-content flagging)",
+    )
+    print("Misses are unseen heavy variants outside the theta=8 ball of any")
+    print("known cluster medoid — the monitor improves as the pipeline is")
+    print("re-run over fresh crawls (the paper's batch-update design).")
+
+
+if __name__ == "__main__":
+    main()

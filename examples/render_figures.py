@@ -1,0 +1,111 @@
+"""Render the paper's line-plot figures as SVG files.
+
+No plotting library ships offline, so figures render through the
+dependency-free SVG writer (:mod:`repro.utils.svgplot`).  Produces:
+
+* ``fig3_decay.svg``   — the perceptual-similarity decay (Fig. 3),
+* ``fig8_temporal.svg`` — daily politics-meme share per community (Fig. 8c),
+* ``fig9_scores.svg``  — Reddit score CDFs by group (Fig. 9a),
+* ``fig19_roc.svg``    — the screenshot classifier's ROC curve (Fig. 19).
+
+Run:  python examples/render_figures.py   (writes SVGs to ./figures/)
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import daily_meme_share, scores_by_group
+from repro.analysis.stats import ecdf
+from repro.annotation.screenshots import (
+    ScreenshotClassifier,
+    build_screenshot_dataset,
+)
+from repro.communities import SyntheticWorld, WorldConfig
+from repro.core import PipelineConfig, run_pipeline
+from repro.core.metric import perceptual_similarity
+from repro.utils.rng import derive_rng
+from repro.utils.svgplot import LineChart
+
+OUTPUT = Path("figures")
+
+
+def fig3() -> None:
+    d = np.arange(0, 65, dtype=np.float64)
+    chart = LineChart(
+        title="Fig. 3: perceptual similarity decay",
+        x_label="Hamming score d",
+        y_label="r_perceptual",
+    )
+    for tau in (1.0, 25.0, 64.0):
+        chart.add(d, np.asarray(perceptual_similarity(d, tau=tau)), f"tau={tau:g}")
+    chart.save(OUTPUT / "fig3_decay.svg")
+
+
+def fig8_and_fig9(world, result) -> None:
+    series = daily_meme_share(world, result, group="politics")
+    chart = LineChart(
+        title="Fig. 8c: politics memes, % of posts per day",
+        x_label="day (0 = 2016-07-01)",
+        y_label="% of posts",
+    )
+    for community in ("pol", "reddit", "twitter", "gab"):
+        values = series.percent_by_community[community]
+        # 7-day smoothing for readability, as in the paper's plots.
+        kernel = np.ones(7) / 7
+        smooth = np.convolve(values, kernel, mode="same")
+        chart.add(series.days, smooth, community)
+    chart.save(OUTPUT / "fig8_temporal.svg")
+
+    chart = LineChart(
+        title="Fig. 9a: Reddit score CDFs",
+        x_label="log10(score)",
+        y_label="CDF",
+    )
+    for group in ("politics", "racist"):
+        split = scores_by_group(result, "reddit", group)
+        for name, values in (
+            (group, split.in_group),
+            (f"non-{group}", split.out_group),
+        ):
+            if values.size < 2:
+                continue
+            x, f = ecdf(np.log10(np.maximum(values, 1)))
+            chart.add(x, f, name)
+    chart.save(OUTPUT / "fig9_scores.svg")
+
+
+def fig19(world) -> None:
+    rng = derive_rng(9, "figure-classifier")
+    x, y = build_screenshot_dataset(
+        world.library, rng, n_screenshots=250, n_organic=250
+    )
+    classifier = ScreenshotClassifier(rng)
+    x_train, y_train, x_test, y_test = classifier.train_eval_split(x, y, rng)
+    classifier.fit(x_train, y_train)
+    report = classifier.evaluate(x_test, y_test)
+    chart = LineChart(
+        title=f"Fig. 19: screenshot classifier ROC (AUC {report.auc:.2f})",
+        x_label="false positive rate",
+        y_label="true positive rate",
+    )
+    chart.add(report.fpr, report.tpr, "classifier")
+    chart.add(np.array([0.0, 1.0]), np.array([0.0, 1.0]), "chance")
+    chart.save(OUTPUT / "fig19_roc.svg")
+
+
+def main() -> None:
+    OUTPUT.mkdir(exist_ok=True)
+    print("Rendering Fig. 3 (analytic)...")
+    fig3()
+    print("Generating a world for Figs. 8/9/19...")
+    world = SyntheticWorld.generate(WorldConfig(seed=13, events_unit=60.0))
+    result = run_pipeline(world, PipelineConfig())
+    fig8_and_fig9(world, result)
+    print("Training the screenshot classifier for Fig. 19...")
+    fig19(world)
+    print(f"Wrote {len(list(OUTPUT.glob('*.svg')))} SVGs to {OUTPUT}/")
+
+
+if __name__ == "__main__":
+    main()

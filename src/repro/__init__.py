@@ -1,0 +1,31 @@
+"""memes-pipeline: reproduction of *On the Origins of Memes by Means of
+Fringe Web Communities* (Zannettou et al., IMC 2018).
+
+The package provides the paper's full processing pipeline and every
+substrate it depends on, organised as:
+
+* :mod:`repro.core` — the pipeline (Steps 1-7) and the custom
+  inter-cluster distance metric;
+* :mod:`repro.hashing`, :mod:`repro.clustering`, :mod:`repro.images`,
+  :mod:`repro.nn` — the computational substrates (pHash, DBSCAN,
+  procedural images, a numpy CNN);
+* :mod:`repro.annotation` — Know Your Meme modelling and cluster
+  labelling;
+* :mod:`repro.communities` — the synthetic five-community ecosystem with
+  ground-truth Hawkes dynamics;
+* :mod:`repro.hawkes` — Hawkes simulation, fitting, and the root-cause
+  influence estimator;
+* :mod:`repro.analysis` — the paper's evaluation analyses.
+
+Quickstart::
+
+    from repro.communities import SyntheticWorld, WorldConfig
+    from repro.core import run_pipeline
+
+    world = SyntheticWorld.generate(WorldConfig(seed=7))
+    result = run_pipeline(world)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

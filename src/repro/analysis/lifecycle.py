@@ -1,0 +1,123 @@
+"""Meme lifecycles: when a meme reaches each community, and for how long.
+
+The paper's future work asks about "understanding components of a meme
+that might increase/decrease its chance of dissemination".  This module
+computes the temporal skeleton such studies need, per meme entry:
+
+* first-seen time per community,
+* spread latency — how long after its first appearance anywhere a meme
+  takes to reach each other community,
+* peak activity day and active span.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.communities.models import COMMUNITIES
+from repro.core.results import PipelineResult
+
+__all__ = ["MemeLifecycle", "meme_lifecycles", "spread_latency_summary"]
+
+
+@dataclass(frozen=True)
+class MemeLifecycle:
+    """The temporal trajectory of one meme entry across communities.
+
+    Attributes
+    ----------
+    entry:
+        Representative KYM entry name.
+    total_posts:
+        Matched posts across all communities.
+    first_seen:
+        ``{community: first occurrence time}`` (only reached communities).
+    peak_day:
+        Day (integer bucket) with the most posts.
+    active_span:
+        Time between the first and last matched post.
+    spread_latency:
+        ``{community: days after the meme's first appearance anywhere}``.
+        The origin community has latency 0.
+    """
+
+    entry: str
+    total_posts: int
+    first_seen: dict[str, float]
+    peak_day: float
+    active_span: float
+
+    @property
+    def origin_community(self) -> str:
+        """Community of the earliest matched post."""
+        return min(self.first_seen, key=self.first_seen.get)
+
+    @property
+    def spread_latency(self) -> dict[str, float]:
+        start = min(self.first_seen.values())
+        return {
+            community: t - start for community, t in self.first_seen.items()
+        }
+
+    @property
+    def n_communities(self) -> int:
+        """How many communities the meme reached."""
+        return len(self.first_seen)
+
+
+def meme_lifecycles(
+    result: PipelineResult,
+    *,
+    min_posts: int = 5,
+) -> dict[str, MemeLifecycle]:
+    """Lifecycle per representative entry (entries below ``min_posts`` skipped)."""
+    if min_posts < 1:
+        raise ValueError("min_posts must be >= 1")
+    times: dict[str, list[float]] = defaultdict(list)
+    first_seen: dict[str, dict[str, float]] = defaultdict(dict)
+    for post, entry in zip(
+        result.occurrences.posts, result.occurrences.entry_names
+    ):
+        times[entry].append(post.timestamp)
+        seen = first_seen[entry]
+        if post.community not in seen or post.timestamp < seen[post.community]:
+            seen[post.community] = post.timestamp
+    lifecycles: dict[str, MemeLifecycle] = {}
+    for entry, timestamps in times.items():
+        if len(timestamps) < min_posts:
+            continue
+        values = np.array(timestamps)
+        days = np.floor(values).astype(int)
+        peak = int(np.bincount(days - days.min()).argmax() + days.min())
+        lifecycles[entry] = MemeLifecycle(
+            entry=entry,
+            total_posts=len(timestamps),
+            first_seen=dict(first_seen[entry]),
+            peak_day=float(peak),
+            active_span=float(values.max() - values.min()),
+        )
+    return lifecycles
+
+
+def spread_latency_summary(
+    lifecycles: dict[str, MemeLifecycle],
+) -> dict[str, float]:
+    """Median days for memes to reach each community after first appearing.
+
+    Only memes that actually reached the community contribute; the
+    origin community's latencies (zeros) are included, so fringe seed
+    communities show near-zero medians while mainstream ones lag — the
+    fringe-to-mainstream propagation delay the paper's narrative implies.
+    """
+    per_community: dict[str, list[float]] = defaultdict(list)
+    for lifecycle in lifecycles.values():
+        for community, latency in lifecycle.spread_latency.items():
+            per_community[community].append(latency)
+    return {
+        community: float(np.median(values))
+        for community, values in per_community.items()
+        if community in COMMUNITIES
+    }

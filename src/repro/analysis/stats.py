@@ -1,0 +1,81 @@
+"""Statistical helpers used across the analyses.
+
+* :func:`ecdf` — empirical CDFs for the paper's many CDF plots.
+* :func:`fleiss_kappa` — the inter-annotator agreement score of
+  Appendix B (the paper reports kappa = 0.67 over three annotators).
+* :func:`ks_two_sample` — the two-sample Kolmogorov-Smirnov test used to
+  mark significant influence differences in Figs. 13-16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = ["ecdf", "cdf_at", "fleiss_kappa", "ks_two_sample"]
+
+
+def ecdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns ``(sorted_values, cumulative_fractions)``.
+
+    >>> x, f = ecdf(np.array([3, 1, 2]))
+    >>> list(x), list(f)
+    ([1, 2, 3], [0.3333333333333333, 0.6666666666666666, 1.0])
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return np.empty(0), np.empty(0)
+    ordered = np.sort(values)
+    fractions = np.arange(1, ordered.size + 1) / ordered.size
+    return ordered, fractions
+
+
+def cdf_at(values: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Evaluate the ECDF of ``values`` at ``points``."""
+    values = np.sort(np.asarray(values))
+    points = np.asarray(points)
+    if values.size == 0:
+        return np.zeros(points.shape)
+    return np.searchsorted(values, points, side="right") / values.size
+
+
+def fleiss_kappa(ratings: np.ndarray) -> float:
+    """Fleiss' kappa for ``(n_subjects, n_categories)`` rating counts.
+
+    ``ratings[i, j]`` is how many raters placed subject ``i`` into
+    category ``j``; every subject must receive the same number of
+    ratings.  Returns 1.0 for perfect agreement, 0 for chance-level.
+    """
+    ratings = np.asarray(ratings, dtype=np.float64)
+    if ratings.ndim != 2:
+        raise ValueError("ratings must be (n_subjects, n_categories)")
+    n_raters = ratings.sum(axis=1)
+    if ratings.size == 0 or np.any(n_raters < 2):
+        raise ValueError("every subject needs at least two ratings")
+    if not np.all(n_raters == n_raters[0]):
+        raise ValueError("all subjects must have the same number of ratings")
+    n = float(n_raters[0])
+    # Per-subject agreement.
+    p_i = ((ratings**2).sum(axis=1) - n) / (n * (n - 1))
+    p_bar = float(p_i.mean())
+    # Chance agreement from the marginal category distribution.
+    p_j = ratings.sum(axis=0) / ratings.sum()
+    p_e = float((p_j**2).sum())
+    if abs(1.0 - p_e) < 1e-12:
+        return 1.0
+    return (p_bar - p_e) / (1.0 - p_e)
+
+
+def ks_two_sample(a: np.ndarray, b: np.ndarray) -> tuple[float, float]:
+    """Two-sample KS test; returns ``(statistic, p_value)``.
+
+    Used to compare the distributions of per-cluster influence between
+    racist/non-racist (and political/non-political) clusters, as in the
+    significance stars of Figs. 13-16.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    result = scipy_stats.ks_2samp(a, b)
+    return float(result.statistic), float(result.pvalue)

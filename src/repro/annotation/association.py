@@ -1,0 +1,98 @@
+"""Association of community images to memes — the paper's Step 6.
+
+Every image posted on any Web community (Twitter, Reddit, /pol/, Gab) is
+compared against the annotated clusters' medoids; an image belongs to the
+nearest medoid within Hamming distance θ = 8.  This is the step the paper
+benchmarks at 73 images/second on two GPUs (Section 7); here it is served
+by multi-index hashing with memoisation over unique pHashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashing.index import MultiIndexHash
+from repro.annotation.matcher import DEFAULT_THETA
+
+__all__ = ["AssociationResult", "associate_hashes"]
+
+UNASSIGNED = -1
+
+
+@dataclass(frozen=True)
+class AssociationResult:
+    """Outcome of associating a batch of image hashes to clusters.
+
+    Attributes
+    ----------
+    cluster_ids:
+        Per input hash: the matched cluster id, or ``-1``.
+    distances:
+        Per input hash: Hamming distance to the matched medoid, or ``-1``.
+    n_assigned:
+        Number of inputs that matched some cluster.
+    """
+
+    cluster_ids: np.ndarray
+    distances: np.ndarray
+
+    @property
+    def n_assigned(self) -> int:
+        return int(np.sum(self.cluster_ids != UNASSIGNED))
+
+    @property
+    def assigned_fraction(self) -> float:
+        if self.cluster_ids.size == 0:
+            return 0.0
+        return self.n_assigned / self.cluster_ids.size
+
+
+def associate_hashes(
+    hashes: np.ndarray,
+    medoid_hashes: dict[int, np.uint64 | int],
+    *,
+    theta: int = DEFAULT_THETA,
+) -> AssociationResult:
+    """Associate image pHashes to the nearest annotated-cluster medoid.
+
+    Parameters
+    ----------
+    hashes:
+        1-D ``uint64`` array of image pHashes (duplicates welcome; the
+        lookup is memoised over unique values).
+    medoid_hashes:
+        ``{cluster_id: medoid pHash}`` for the *annotated* clusters.
+    theta:
+        Matching threshold (paper: 8).  Nearest medoid wins; ties break
+        to the smallest cluster id for determinism.
+    """
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
+    hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
+    n = hashes.size
+    cluster_ids = np.full(n, UNASSIGNED, dtype=np.int64)
+    distances = np.full(n, -1, dtype=np.int64)
+    if n == 0 or not medoid_hashes:
+        return AssociationResult(cluster_ids=cluster_ids, distances=distances)
+
+    ordered = sorted(medoid_hashes.items())
+    id_array = np.array([cid for cid, _ in ordered], dtype=np.int64)
+    medoid_array = np.array([h for _, h in ordered], dtype=np.uint64)
+    index = MultiIndexHash(medoid_array)
+
+    unique, inverse = np.unique(hashes, return_inverse=True)
+    unique_cluster = np.full(unique.size, UNASSIGNED, dtype=np.int64)
+    unique_distance = np.full(unique.size, -1, dtype=np.int64)
+    for u, value in enumerate(unique):
+        pairs = index.query(int(value), theta)
+        if not pairs:
+            continue
+        best_index, best_distance = min(pairs, key=lambda p: (p[1], p[0]))
+        unique_cluster[u] = id_array[best_index]
+        unique_distance[u] = best_distance
+
+    cluster_ids[:] = unique_cluster[inverse]
+    distances[:] = unique_distance[inverse]
+    return AssociationResult(cluster_ids=cluster_ids, distances=distances)

@@ -1,0 +1,195 @@
+"""Screenshot removal (paper Step 4, Appendix C).
+
+KYM galleries contain screenshots of social-network posts *about* memes;
+the paper trains a CNN (2 x conv -> maxpool -> dense(512) -> dropout(0.5)
+-> softmax(2)) on 28.8K curated images and reports AUC 0.96, accuracy
+91.3%, precision 94.3%, recall 93.5%, F1 93.9% on a 20% holdout.
+
+This module reproduces the protocol on synthetic data: positives are
+rendered screenshots (:func:`repro.images.screenshots.render_screenshot`),
+negatives are organic meme variants and one-off images.  The architecture
+keeps the paper's shape with widths scaled to the synthetic resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.images.raster import Image, resize
+from repro.images.screenshots import render_screenshot
+from repro.images.templates import TemplateLibrary
+from repro.images.transforms import VariantSpec, random_variant
+from repro.nn import (
+    Adam,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    accuracy,
+    auc,
+    precision_recall_f1,
+    roc_curve,
+)
+
+__all__ = ["ScreenshotClassifier", "ClassifierReport", "build_screenshot_dataset"]
+
+INPUT_SIZE = 32
+
+
+def build_screenshot_dataset(
+    library: TemplateLibrary,
+    rng: np.random.Generator,
+    *,
+    n_screenshots: int = 300,
+    n_organic: int = 300,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build a labelled dataset: screenshots (1) vs organic images (0).
+
+    Organic images are meme variants drawn round-robin over the library's
+    templates, with light and heavy perturbations mixed, plus one-off
+    junk via heavy transforms — matching how the paper's negatives mixed
+    meme imagery and random /pol/ images.
+
+    Returns
+    -------
+    (x, y):
+        ``x`` of shape ``(n, INPUT_SIZE, INPUT_SIZE, 1)``; ``y`` int labels.
+    """
+    if n_screenshots <= 0 or n_organic <= 0:
+        raise ValueError("both class sizes must be positive")
+    images: list[Image] = []
+    labels: list[int] = []
+    for _ in range(n_screenshots):
+        images.append(render_screenshot(rng, size=INPUT_SIZE))
+        labels.append(1)
+    templates = list(library)
+    for k in range(n_organic):
+        template = templates[k % len(templates)]
+        spec = VariantSpec.heavy() if rng.random() < 0.4 else VariantSpec.light()
+        images.append(random_variant(template.render(INPUT_SIZE), rng, spec))
+        labels.append(0)
+    x = np.stack([resize(img, INPUT_SIZE, INPUT_SIZE) for img in images])
+    x = x[..., None].astype(np.float64)
+    y = np.array(labels, dtype=np.int64)
+    order = rng.permutation(len(y))
+    return x[order], y[order]
+
+
+@dataclass(frozen=True)
+class ClassifierReport:
+    """Holdout evaluation in the paper's Appendix C terms."""
+
+    auc: float
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    fpr: np.ndarray
+    tpr: np.ndarray
+
+
+class ScreenshotClassifier:
+    """The Step 4 CNN: detects social-network screenshots.
+
+    Parameters
+    ----------
+    rng:
+        Weight initialisation and dropout randomness.
+    dense_units:
+        Width of the fully connected layer (the paper used 512 at full
+        resolution; 64 reproduces the behaviour at 32 x 32 inputs).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        dense_units: int = 64,
+        dropout: float = 0.5,
+    ) -> None:
+        self._rng = rng
+        # 32x32 -> conv3 -> 30 -> pool2 -> 15 -> conv3 -> 13 -> pool2 -> 6
+        self.model = Sequential(
+            [
+                Conv2D(1, 8, 3, rng),
+                ReLU(),
+                MaxPool2D(2),
+                Conv2D(8, 16, 3, rng),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(16 * 6 * 6, dense_units, rng),
+                ReLU(),
+                Dropout(dropout, rng),
+                Dense(dense_units, 2, rng),
+            ]
+        )
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int = 6,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+    ) -> None:
+        """Train on the full provided set (no internal split)."""
+        self.model.fit(
+            x,
+            y,
+            Adam(learning_rate),
+            epochs=epochs,
+            batch_size=batch_size,
+            rng=self._rng,
+        )
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Probability that each image is a screenshot."""
+        return self.model.predict_proba(x)[:, 1]
+
+    def predict(self, x: np.ndarray, *, threshold: float = 0.5) -> np.ndarray:
+        """Hard screenshot decisions at ``threshold``."""
+        return (self.predict_proba(x) >= threshold).astype(np.int64)
+
+    def is_screenshot(self, image: Image, *, threshold: float = 0.5) -> bool:
+        """Classify a single raster of any resolution."""
+        small = resize(image, INPUT_SIZE, INPUT_SIZE)[None, :, :, None]
+        return bool(self.predict(small.astype(np.float64), threshold=threshold)[0])
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> ClassifierReport:
+        """Compute the Appendix C metrics on a holdout set."""
+        scores = self.predict_proba(x)
+        predictions = (scores >= 0.5).astype(np.int64)
+        fpr, tpr, _ = roc_curve(y, scores)
+        precision, recall, f1 = precision_recall_f1(y, predictions)
+        return ClassifierReport(
+            auc=auc(fpr, tpr),
+            accuracy=accuracy(y, predictions),
+            precision=precision,
+            recall=recall,
+            f1=f1,
+            fpr=fpr,
+            tpr=tpr,
+        )
+
+    @staticmethod
+    def train_eval_split(
+        x: np.ndarray,
+        y: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        train_fraction: float = 0.8,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The paper's 80/20 random split."""
+        if not 0 < train_fraction < 1:
+            raise ValueError("train_fraction must be in (0, 1)")
+        order = rng.permutation(len(y))
+        cut = int(len(y) * train_fraction)
+        train, test = order[:cut], order[cut:]
+        return x[train], y[train], x[test], y[test]

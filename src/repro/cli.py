@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``overview``
+    Generate a world, run the pipeline, print dataset + clustering
+    overviews (Tables 1-2).
+``top``
+    Print the top meme/people rankings per community (Tables 3-5).
+``influence``
+    Fit the Hawkes models and print the influence matrices (Figs. 11-12)
+    with ground truth alongside.
+``clusters``
+    Print Appendix-D style inspection reports for the most-posted
+    clusters.
+``report``
+    Everything above in one run.
+
+All commands share ``--seed``, ``--events-unit`` and ``--noise-scale``
+controlling the synthetic world's scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import (
+    ground_truth_influence,
+    influence_study,
+    top_entries_by_clusters,
+    top_entries_by_posts,
+    top_subreddits,
+)
+from repro.communities import (
+    COMMUNITIES,
+    DISPLAY_NAMES,
+    FRINGE_COMMUNITIES,
+    SyntheticWorld,
+    WorldConfig,
+)
+from repro.core import PipelineConfig, run_pipeline
+from repro.utils.tables import print_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On the Origins of Memes by Means of Fringe "
+            "Web Communities' (IMC 2018) on a synthetic meme ecosystem."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=42, help="world seed")
+    parser.add_argument(
+        "--events-unit",
+        type=float,
+        default=60.0,
+        help="meme events on the smallest community (scales the world)",
+    )
+    parser.add_argument(
+        "--noise-scale", type=float, default=1.0, help="noise volume multiplier"
+    )
+    parser.add_argument(
+        "command",
+        choices=("overview", "top", "influence", "clusters", "report"),
+        help="what to print",
+    )
+    return parser
+
+
+def _world_and_pipeline(args):
+    config = WorldConfig(
+        seed=args.seed,
+        events_unit=args.events_unit,
+        noise_scale=args.noise_scale,
+    )
+    print(f"Generating world (seed={config.seed}, "
+          f"events_unit={config.events_unit})...")
+    world = SyntheticWorld.generate(config)
+    print(f"  {len(world.posts):,} posts. Running the pipeline...\n")
+    return world, run_pipeline(world, PipelineConfig())
+
+
+def _print_overview(world, result) -> None:
+    print_table(
+        [
+            [DISPLAY_NAMES[s.community], s.n_posts, s.n_posts_with_images,
+             s.n_images, s.n_unique_phashes]
+            for s in world.community_stats()
+        ],
+        headers=["Platform", "Posts", "w/ images", "Images", "Unique pHashes"],
+        title="Dataset overview (Table 1)",
+    )
+    print_table(
+        [
+            [
+                DISPLAY_NAMES[c],
+                result.clusterings[c].n_images,
+                result.clusterings[c].n_clusters,
+                f"{100 * result.clusterings[c].image_noise_fraction:.0f}%",
+                result.n_annotated(c),
+            ]
+            for c in FRINGE_COMMUNITIES
+        ],
+        headers=["Platform", "Images", "Clusters", "Noise", "Annotated"],
+        title="Clustering (Table 2)",
+    )
+
+
+def _print_top(world, result) -> None:
+    for community in FRINGE_COMMUNITIES:
+        rows = top_entries_by_clusters(result, world.kym_site, community, n=10)
+        print_table(
+            [[r.entry, r.category, r.count, r.markers()] for r in rows],
+            headers=["Entry", "Category", "Clusters", ""],
+            title=f"Top entries by clusters on {DISPLAY_NAMES[community]} (Table 3)",
+        )
+    for community in ("pol", "reddit", "twitter", "gab"):
+        rows = top_entries_by_posts(
+            result, world.kym_site, community, n=10, category="memes"
+        )
+        print_table(
+            [[r.entry, r.count, f"{r.percent:.1f}%", r.markers()] for r in rows],
+            headers=["Meme", "Posts", "%", ""],
+            title=f"Top memes by posts on {DISPLAY_NAMES[community]} (Table 4)",
+        )
+    rows = top_subreddits(result, group="all", n=10)
+    print_table(
+        [[r.subreddit, r.posts, f"{r.percent:.1f}%"] for r in rows],
+        headers=["Subreddit", "Posts", "%"],
+        title="Top subreddits, all memes (Table 6)",
+    )
+
+
+def _print_influence(world, result) -> None:
+    print("Fitting Hawkes models per cluster...\n")
+    study = influence_study(result, world.config.horizon_days, min_events=10)
+    truth = ground_truth_influence(world)
+
+    def matrix_rows(matrix):
+        return [
+            [DISPLAY_NAMES[COMMUNITIES[s]]]
+            + [f"{matrix[s, d]:.1f}%" for d in range(len(COMMUNITIES))]
+            for s in range(len(COMMUNITIES))
+        ]
+
+    headers = ["Src \\ Dst"] + [DISPLAY_NAMES[c] for c in COMMUNITIES]
+    print_table(
+        matrix_rows(study.total.percent_of_destination()),
+        headers=headers,
+        title="Influence, % of destination events (Fig. 11, estimated)",
+    )
+    print_table(
+        matrix_rows(truth.percent_of_destination()),
+        headers=headers,
+        title="Influence, % of destination events (ground truth)",
+    )
+    estimated = study.total.total_external_normalized()
+    actual = truth.total_external_normalized()
+    print_table(
+        [
+            [DISPLAY_NAMES[c], f"{estimated[i]:.1f}%", f"{actual[i]:.1f}%",
+             int(study.total.event_counts[i])]
+            for i, c in enumerate(COMMUNITIES)
+        ],
+        headers=["Community", "Ext/meme (est)", "Ext/meme (truth)", "events"],
+        title="Efficiency (Fig. 12 Total-Ext)",
+    )
+
+
+def _print_clusters(result, n: int = 3) -> None:
+    from collections import Counter
+
+    from repro.analysis import format_cluster_report, inspect_cluster
+
+    counts = Counter(result.occurrences.cluster_indices.tolist())
+    for index, _ in counts.most_common(n):
+        key = result.cluster_keys[index]
+        print(format_cluster_report(inspect_cluster(result, key)))
+        print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=2, suppress=True)
+    world, result = _world_and_pipeline(args)
+    if args.command in ("overview", "report"):
+        _print_overview(world, result)
+    if args.command in ("top", "report"):
+        _print_top(world, result)
+    if args.command in ("clusters", "report"):
+        _print_clusters(result)
+    if args.command in ("influence", "report"):
+        _print_influence(world, result)
+    return 0

@@ -1,0 +1,181 @@
+"""DBSCAN over Hamming neighbourhoods — the paper's Step 3, from scratch.
+
+The paper clusters fringe-community pHashes with DBSCAN at distance
+threshold 8 (Appendix A) and min_samples 5 (Section 4.1.1: "there are less
+than 5 images with perceptual distance <= 8 from that particular
+instance" defines noise).  This implementation follows Ester et al. (KDD
+1996): core points have at least ``min_samples`` neighbours (self
+included); clusters are the density-connected components of core points
+plus their border points; everything else is noise, labelled ``-1``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashing.pairwise import radius_neighbors
+
+__all__ = ["NOISE", "DBSCANResult", "dbscan", "dbscan_from_neighbors"]
+
+NOISE = -1
+
+
+@dataclass(frozen=True)
+class DBSCANResult:
+    """Outcome of a DBSCAN run.
+
+    Attributes
+    ----------
+    labels:
+        ``int64`` array; cluster ids are ``0..n_clusters-1`` in discovery
+        order, noise is :data:`NOISE` (-1).
+    core_mask:
+        Boolean array marking core points.
+    """
+
+    labels: np.ndarray
+    core_mask: np.ndarray
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters found."""
+        return int(self.labels.max() + 1) if self.labels.size else 0
+
+    @property
+    def noise_fraction(self) -> float:
+        """Fraction of points labelled noise (0 for an empty input)."""
+        if self.labels.size == 0:
+            return 0.0
+        return float(np.mean(self.labels == NOISE))
+
+
+def dbscan_from_neighbors(
+    neighbors: list[np.ndarray],
+    min_samples: int = 5,
+    *,
+    counts: np.ndarray | None = None,
+) -> DBSCANResult:
+    """Run DBSCAN given precomputed radius neighbourhoods.
+
+    Parameters
+    ----------
+    neighbors:
+        ``neighbors[i]`` lists the indices within eps of point ``i``
+        (self included) — e.g. from
+        :func:`repro.hashing.pairwise.radius_neighbors`.
+    min_samples:
+        Minimum neighbourhood size (self included) for a core point.
+    counts:
+        Optional multiplicity per point.  The paper clusters *images*,
+        not unique hashes; identical images sit at distance 0 and all
+        count toward the density threshold.  Clustering unique hashes
+        with their image counts is exactly equivalent and much cheaper.
+    """
+    if min_samples < 1:
+        raise ValueError("min_samples must be >= 1")
+    n = len(neighbors)
+    if counts is None:
+        counts = np.ones(n, dtype=np.int64)
+    else:
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (n,):
+            raise ValueError("counts must align with neighbors")
+        if np.any(counts < 1):
+            raise ValueError("counts must be >= 1")
+    labels = np.full(n, NOISE, dtype=np.int64)
+    core_mask = np.array(
+        [int(counts[neighbors[i]].sum()) >= min_samples for i in range(n)],
+        dtype=bool,
+    )
+    cluster_id = 0
+    for seed in range(n):
+        if labels[seed] != NOISE or not core_mask[seed]:
+            continue
+        # Breadth-first expansion from this unassigned core point.
+        labels[seed] = cluster_id
+        queue = deque([seed])
+        while queue:
+            point = queue.popleft()
+            if not core_mask[point]:
+                continue
+            for neighbor in neighbors[point]:
+                neighbor = int(neighbor)
+                if labels[neighbor] == NOISE:
+                    labels[neighbor] = cluster_id
+                    if core_mask[neighbor]:
+                        queue.append(neighbor)
+        cluster_id += 1
+    return DBSCANResult(labels=labels, core_mask=core_mask)
+
+
+def dbscan(
+    hashes: np.ndarray,
+    *,
+    eps: int = 8,
+    min_samples: int = 5,
+    method: str = "auto",
+    counts: np.ndarray | None = None,
+) -> DBSCANResult:
+    """DBSCAN over 64-bit pHashes with the Hamming metric.
+
+    Parameters
+    ----------
+    hashes:
+        1-D ``uint64`` array of (typically unique) pHashes.
+    eps:
+        Maximum Hamming distance for neighbourhood membership (paper: 8).
+    min_samples:
+        Core-point threshold, self included (paper: 5).
+    method:
+        Neighbourhood computation strategy, passed through to
+        :func:`repro.hashing.pairwise.radius_neighbors`.
+    counts:
+        Optional image multiplicity per hash (see
+        :func:`dbscan_from_neighbors`).
+    """
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
+    if hashes.size == 0:
+        return DBSCANResult(
+            labels=np.empty(0, dtype=np.int64), core_mask=np.empty(0, dtype=bool)
+        )
+    neighbors = radius_neighbors(hashes, eps, method=method)
+    return dbscan_from_neighbors(neighbors, min_samples=min_samples, counts=counts)
+
+
+def dbscan_images(
+    image_hashes: np.ndarray,
+    *,
+    eps: int = 8,
+    min_samples: int = 5,
+    method: str = "auto",
+) -> tuple[DBSCANResult, np.ndarray, np.ndarray]:
+    """Cluster an image multiset the way the paper does (Step 3).
+
+    Deduplicates ``image_hashes`` (which may contain many identical
+    values), clusters the unique hashes with image-count weighting, and
+    returns per-image labels as well.
+
+    Returns
+    -------
+    (result, unique_hashes, image_labels):
+        ``result`` is over the unique hashes; ``image_labels`` maps every
+        input image to its cluster (or noise).
+    """
+    image_hashes = np.ascontiguousarray(image_hashes, dtype=np.uint64)
+    if image_hashes.size == 0:
+        empty = DBSCANResult(
+            labels=np.empty(0, dtype=np.int64), core_mask=np.empty(0, dtype=bool)
+        )
+        return empty, image_hashes, np.empty(0, dtype=np.int64)
+    unique, inverse, counts = np.unique(
+        image_hashes, return_inverse=True, return_counts=True
+    )
+    result = dbscan(
+        unique, eps=eps, min_samples=min_samples, method=method, counts=counts
+    )
+    return result, unique, result.labels[inverse]

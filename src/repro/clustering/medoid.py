@@ -1,0 +1,80 @@
+"""Cluster medoids — the representative image of each cluster (Step 5).
+
+The paper annotates clusters through their *medoid*: "the element with the
+minimum square average distance from all images in the cluster".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.dbscan import NOISE
+from repro.utils.bitops import hamming_distance_matrix
+
+__all__ = ["medoid_index", "medoids_by_cluster", "cluster_members"]
+
+
+def medoid_index(hashes: np.ndarray, counts: np.ndarray | None = None) -> int:
+    """Index of the medoid of a set of pHashes.
+
+    Minimises the mean *squared* Hamming distance to all members (matching
+    the paper's definition); ties break to the lowest index, which makes
+    the choice deterministic.  ``counts`` weights each hash by its image
+    multiplicity, making the result the medoid of the image multiset.
+    """
+    hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
+    if hashes.size == 0:
+        raise ValueError("cannot take the medoid of an empty cluster")
+    if hashes.size == 1:
+        return 0
+    distances = hamming_distance_matrix(hashes).astype(np.float64)
+    if counts is None:
+        cost = (distances**2).mean(axis=1)
+    else:
+        counts = np.asarray(counts, dtype=np.float64)
+        if counts.shape != (hashes.size,):
+            raise ValueError("counts must align with hashes")
+        cost = (distances**2) @ counts / counts.sum()
+    return int(np.argmin(cost))
+
+
+def cluster_members(labels: np.ndarray) -> dict[int, np.ndarray]:
+    """Map each cluster id to the indices of its members (noise excluded)."""
+    labels = np.asarray(labels)
+    members: dict[int, np.ndarray] = {}
+    for cluster_id in np.unique(labels):
+        if cluster_id == NOISE:
+            continue
+        members[int(cluster_id)] = np.flatnonzero(labels == cluster_id)
+    return members
+
+
+def medoids_by_cluster(
+    hashes: np.ndarray,
+    labels: np.ndarray,
+    counts: np.ndarray | None = None,
+) -> dict[int, int]:
+    """Medoid (as a global index into ``hashes``) for every cluster.
+
+    Parameters
+    ----------
+    hashes:
+        The full hash array that was clustered.
+    labels:
+        DBSCAN labels aligned with ``hashes``.
+    counts:
+        Optional per-hash image multiplicity (image-multiset medoids).
+    """
+    hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
+    if hashes.shape != np.asarray(labels).shape:
+        raise ValueError("hashes and labels must be aligned")
+    if counts is not None:
+        counts = np.asarray(counts)
+        if counts.shape != hashes.shape:
+            raise ValueError("counts must align with hashes")
+    medoids: dict[int, int] = {}
+    for cluster_id, indices in cluster_members(labels).items():
+        member_counts = None if counts is None else counts[indices]
+        local = medoid_index(hashes[indices], member_counts)
+        medoids[cluster_id] = int(indices[local])
+    return medoids

@@ -1,0 +1,90 @@
+"""Post and community data models.
+
+A :class:`Post` is one image-bearing submission on a community.  Ground
+truth fields (``template_name``, ``root_community``) record what the
+generator knows and the pipeline must rediscover; they are used only for
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "COMMUNITIES",
+    "FRINGE_COMMUNITIES",
+    "MAINSTREAM_COMMUNITIES",
+    "DISPLAY_NAMES",
+    "Post",
+    "CommunityStats",
+]
+
+# Process ordering is fixed repo-wide; influence matrices follow it.
+COMMUNITIES: tuple[str, ...] = ("pol", "reddit", "twitter", "gab", "the_donald")
+FRINGE_COMMUNITIES: tuple[str, ...] = ("pol", "the_donald", "gab")
+MAINSTREAM_COMMUNITIES: tuple[str, ...] = ("reddit", "twitter")
+
+DISPLAY_NAMES: dict[str, str] = {
+    "pol": "/pol/",
+    "reddit": "Reddit",
+    "twitter": "Twitter",
+    "gab": "Gab",
+    "the_donald": "The_Donald",
+}
+
+
+@dataclass(frozen=True)
+class Post:
+    """One image post.
+
+    Attributes
+    ----------
+    community:
+        One of :data:`COMMUNITIES`.  ``the_donald`` posts are also Reddit
+        posts (their ``subreddit`` is ``"The_Donald"``); dataset-level
+        Reddit statistics merge them back in.
+    timestamp:
+        Days since the observation start (2016-07-01 in the paper).
+    phash:
+        The image's 64-bit perceptual hash.
+    image_id:
+        Identity of the underlying image file; posts sharing an
+        ``image_id`` reposted the same bytes.
+    score:
+        Vote score (Reddit/Gab only, else ``None``).
+    subreddit:
+        Subreddit name for Reddit-family posts, else ``None``.
+    template_name:
+        Ground truth: the meme template behind the image, ``None`` for
+        one-off noise images.
+    root_community:
+        Ground truth: the community where this post's Hawkes cascade
+        originated (``None`` for noise posts).
+    """
+
+    community: str
+    timestamp: float
+    phash: np.uint64
+    image_id: str
+    score: int | None = None
+    subreddit: str | None = None
+    template_name: str | None = None
+    root_community: str | None = None
+
+    @property
+    def is_meme(self) -> bool:
+        """Ground truth: whether the image derives from a meme template."""
+        return self.template_name is not None
+
+
+@dataclass(frozen=True)
+class CommunityStats:
+    """Table 1 row: dataset volumetrics for one community."""
+
+    community: str
+    n_posts: int
+    n_posts_with_images: int
+    n_images: int
+    n_unique_phashes: int

@@ -1,0 +1,263 @@
+"""Per-community behaviour profiles and the ground-truth influence matrix.
+
+The profiles encode what the paper *measured* about each community so the
+synthetic world can exhibit it:
+
+* relative volume (Table 1 / Table 7: /pol/ posts the most memes, Gab the
+  fewest),
+* content affinity (Section 4.2: /pol/ and Gab over-index on racist
+  memes, The_Donald on politics, Twitter/Reddit on neutral reaction
+  memes),
+* vote-score behaviour (Fig. 9),
+* subreddit structure (Table 6),
+* and the ground-truth Hawkes weights (Section 5: The_Donald is the most
+  *efficient* spreader per meme posted, /pol/ the largest in raw volume
+  but least efficient).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.annotation.catalog import CatalogEntry
+from repro.communities.models import COMMUNITIES
+
+__all__ = [
+    "CommunityProfile",
+    "default_profiles",
+    "ground_truth_weights",
+    "weights_for_group",
+    "entry_group",
+]
+
+
+def entry_group(entry: CatalogEntry) -> str:
+    """Analysis group of an entry: ``racist``, ``politics`` or ``neutral``.
+
+    Racism dominates (the paper's racist memes are frequently also
+    political; its Figures 13/15 treat them as racist).
+    """
+    if entry.is_racist:
+        return "racist"
+    if entry.is_politics:
+        return "politics"
+    return "neutral"
+
+
+@dataclass(frozen=True)
+class CommunityProfile:
+    """Generation knobs for one community.
+
+    Attributes
+    ----------
+    name:
+        Community slug (one of :data:`COMMUNITIES`).
+    target_meme_events:
+        Relative meme-event volume (Table 7 ratios); scaled by
+        ``WorldConfig.events_unit``.
+    text_post_multiplier:
+        Total posts per image post (Table 1: most posts carry no image).
+    url_duplicate_rate:
+        Fraction of image posts whose image URL duplicates an earlier
+        one and is not re-downloaded (Table 1: #images < #posts w/ images).
+    noise_image_ratio:
+        One-off (non-meme) image posts per meme image post — calibrated
+        so the DBSCAN image-noise fraction lands in the paper's 63-69%
+        band on the fringe communities (Table 2).
+    noise_screenshot_rate:
+        Fraction of noise images that are social-network screenshots.
+    group_affinity:
+        Multipliers on the background meme rate per analysis group.
+    family_affinity:
+        Additional multipliers per template family.
+    score_model:
+        ``{group: (log_mean, log_sigma)}`` for vote scores; ``None`` for
+        communities without scores (Twitter, /pol/).
+    subreddit_weights:
+        ``{group: ((subreddit, weight), ...)}`` for Reddit posts.
+    """
+
+    name: str
+    target_meme_events: float
+    text_post_multiplier: float
+    url_duplicate_rate: float
+    noise_image_ratio: float
+    noise_screenshot_rate: float
+    group_affinity: dict[str, float]
+    family_affinity: dict[str, float] = field(default_factory=dict)
+    score_model: dict[str, tuple[float, float]] | None = None
+    subreddit_weights: dict[str, tuple[tuple[str, float], ...]] | None = None
+
+    def affinity(self, entry: CatalogEntry) -> float:
+        """Background-rate multiplier of this community for ``entry``."""
+        value = self.group_affinity.get(entry_group(entry), 1.0)
+        value *= self.family_affinity.get(entry.family, 1.0)
+        return value
+
+
+# The "*" bucket is the long tail of small subreddits: in the paper's
+# Table 6 the top-ten subs cover only ~26% of Reddit's meme posts, so
+# most mass must land outside the named communities.
+LONG_TAIL_SUBREDDIT = "*"
+
+_REDDIT_SUBREDDITS: dict[str, tuple[tuple[str, float], ...]] = {
+    "politics": (
+        ("politics", 0.090),
+        ("EnoughTrumpSpam", 0.085),
+        ("TrumpsTweets", 0.075),
+        ("USE2016", 0.055),
+        ("PoliticsAll", 0.045),
+        ("AdviceAnimals", 0.060),
+        ("dankmemes", 0.030),
+        ("pics", 0.030),
+        ("me_irl", 0.030),
+        (LONG_TAIL_SUBREDDIT, 0.500),
+    ),
+    "racist": (
+        ("conspiracy", 0.075),
+        ("me_irl", 0.065),
+        ("AdviceAnimals", 0.080),
+        ("funny", 0.050),
+        ("CringeAnarchy", 0.040),
+        ("dankmemes", 0.037),
+        ("ImGoingToHellForThis", 0.036),
+        ("EDH", 0.040),
+        ("magicTCG", 0.039),
+        (LONG_TAIL_SUBREDDIT, 0.538),
+    ),
+    "neutral": (
+        ("AdviceAnimals", 0.065),
+        ("me_irl", 0.030),
+        ("funny", 0.016),
+        ("dankmemes", 0.013),
+        ("pics", 0.011),
+        ("AskReddit", 0.010),
+        ("HOTandTrending", 0.009),
+        ("gifs", 0.006),
+        ("politics", 0.005),
+        (LONG_TAIL_SUBREDDIT, 0.835),
+    ),
+}
+
+
+def default_profiles() -> dict[str, CommunityProfile]:
+    """The five paper communities with paper-shaped parameters."""
+    reddit_scores = {
+        # Fig. 9a: politics memes score above other memes; racist below.
+        "politics": (1.8, 2.3),
+        "racist": (1.0, 1.7),
+        "neutral": (1.4, 2.0),
+    }
+    gab_scores = {
+        # Fig. 9b: politics ~ non-politics; racist far below non-racist.
+        "politics": (1.35, 1.7),
+        "racist": (0.7, 1.4),
+        "neutral": (1.3, 1.7),
+    }
+    return {
+        "pol": CommunityProfile(
+            name="pol",
+            target_meme_events=35.0,  # Table 7: 1.57M of ~3.1M events
+            text_post_multiplier=3.7,
+            url_duplicate_rate=0.10,
+            noise_image_ratio=2.3,
+            noise_screenshot_rate=0.12,
+            group_affinity={"racist": 3.2, "politics": 1.6, "neutral": 0.8},
+            family_affinity={"frog": 2.4, "reaction": 0.35, "misc": 1.3},
+        ),
+        "reddit": CommunityProfile(
+            name="reddit",
+            target_meme_events=13.0,
+            text_post_multiplier=17.0,
+            url_duplicate_rate=0.30,
+            noise_image_ratio=2.2,
+            noise_screenshot_rate=0.18,
+            group_affinity={"racist": 0.07, "politics": 0.9, "neutral": 1.4},
+            family_affinity={"frog": 0.5, "reaction": 1.6},
+            score_model=reddit_scores,
+            subreddit_weights=_REDDIT_SUBREDDITS,
+        ),
+        "twitter": CommunityProfile(
+            name="twitter",
+            target_meme_events=19.0,
+            text_post_multiplier=6.0,
+            url_duplicate_rate=0.35,
+            noise_image_ratio=2.6,
+            noise_screenshot_rate=0.20,
+            group_affinity={"racist": 0.03, "politics": 0.55, "neutral": 1.9},
+            family_affinity={"frog": 0.3, "reaction": 2.2},
+        ),
+        "gab": CommunityProfile(
+            name="gab",
+            target_meme_events=1.0,
+            text_post_multiplier=13.0,
+            url_duplicate_rate=0.18,
+            noise_image_ratio=0.55,
+            noise_screenshot_rate=0.15,
+            group_affinity={"racist": 1.8, "politics": 1.7, "neutral": 0.6},
+            family_affinity={"frog": 1.1},
+            score_model=gab_scores,
+        ),
+        "the_donald": CommunityProfile(
+            name="the_donald",
+            target_meme_events=1.8,
+            text_post_multiplier=8.0,
+            url_duplicate_rate=0.22,
+            noise_image_ratio=0.75,
+            noise_screenshot_rate=0.12,
+            group_affinity={"racist": 0.35, "politics": 3.2, "neutral": 0.8},
+            family_affinity={"frog": 1.4},
+            score_model=reddit_scores,
+            subreddit_weights=None,  # every post is in The_Donald itself
+        ),
+    }
+
+
+def ground_truth_weights() -> np.ndarray:
+    """The base ground-truth Hawkes weight matrix, ordered as COMMUNITIES.
+
+    Designed to reproduce the paper's headline influence findings:
+    ``weights[i, j]`` is the expected number of events one post on
+    community ``i`` directly causes on community ``j``.  /pol/'s rows are
+    dominated by self-excitation with tiny external weights (huge volume,
+    lowest per-event efficiency); The_Donald's external weights are an
+    order of magnitude larger (the most efficient spreader); Reddit is
+    Twitter's strongest external source.
+    """
+    index = {name: k for k, name in enumerate(COMMUNITIES)}
+    w = np.zeros((len(COMMUNITIES), len(COMMUNITIES)))
+
+    def set_row(source: str, **targets: float) -> None:
+        for target, value in targets.items():
+            w[index[source], index[target]] = value
+
+    set_row("pol", pol=0.30, reddit=0.006, twitter=0.004, gab=0.002, the_donald=0.003)
+    set_row("reddit", pol=0.012, reddit=0.28, twitter=0.022, gab=0.002, the_donald=0.004)
+    set_row("twitter", pol=0.006, reddit=0.008, twitter=0.28, gab=0.001, the_donald=0.002)
+    set_row("gab", pol=0.010, reddit=0.014, twitter=0.004, gab=0.30, the_donald=0.004)
+    set_row("the_donald", pol=0.050, reddit=0.048, twitter=0.020, gab=0.010, the_donald=0.28)
+    return w
+
+
+def weights_for_group(group: str) -> np.ndarray:
+    """Ground-truth weights specialised per analysis group.
+
+    Racist cascades spread relatively better out of /pol/ (Fig. 13);
+    politics cascades relatively better out of The_Donald (Fig. 14/16).
+    """
+    w = ground_truth_weights()
+    index = {name: k for k, name in enumerate(COMMUNITIES)}
+    if group == "racist":
+        w[index["pol"], :] *= 1.6
+        w[index["pol"], index["pol"]] = 0.32
+        w[index["the_donald"], :] *= 0.7
+    elif group == "politics":
+        w[index["the_donald"], :] *= 1.3
+        w[index["the_donald"], index["the_donald"]] = 0.30
+        w[index["pol"], :] *= 1.2
+        w[index["pol"], index["pol"]] = 0.30
+    elif group != "neutral":
+        raise ValueError(f"unknown group {group!r}")
+    return w

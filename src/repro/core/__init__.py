@@ -1,0 +1,43 @@
+"""The paper's primary contribution: the meme-tracking pipeline.
+
+* :mod:`repro.core.metric` — the custom inter-cluster distance metric
+  (Section 2.3, Eq. 1-2) with full and partial modes.
+* :mod:`repro.core.config` — pipeline configuration (eps, θ, τ, weights).
+* :mod:`repro.core.results` — typed results of each pipeline stage.
+* :mod:`repro.core.pipeline` — the Step 1-7 orchestration over a data
+  source (the synthetic world, or any object with the same interface).
+"""
+
+from repro.core.config import MetricWeights, PipelineConfig
+from repro.core.metric import (
+    ClusterFeatures,
+    cluster_distance,
+    jaccard,
+    pairwise_cluster_distances,
+    perceptual_similarity,
+)
+from repro.core.monitor import MemeMonitor, MonitorVerdict
+from repro.core.pipeline import run_pipeline
+from repro.core.results import (
+    ClusterKey,
+    CommunityClustering,
+    OccurrenceTable,
+    PipelineResult,
+)
+
+__all__ = [
+    "PipelineConfig",
+    "MetricWeights",
+    "ClusterFeatures",
+    "cluster_distance",
+    "pairwise_cluster_distances",
+    "perceptual_similarity",
+    "jaccard",
+    "run_pipeline",
+    "MemeMonitor",
+    "MonitorVerdict",
+    "PipelineResult",
+    "CommunityClustering",
+    "OccurrenceTable",
+    "ClusterKey",
+]

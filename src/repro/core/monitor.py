@@ -1,0 +1,144 @@
+"""Real-time meme identification — the paper's deployment scenario.
+
+Discussion section: "our pipeline can already be used by social network
+providers to assist the identification of hateful content; for instance,
+Facebook is taking steps to ban Pepe the Frog used in the context of
+hate... our methodology can help them automatically identify hateful
+variants."
+
+:class:`MemeMonitor` packages a finished pipeline run for that use: it
+indexes the annotated cluster medoids (multi-index hashing, so lookups
+are sub-millisecond) and classifies incoming images — raster or pHash —
+into known memes with their racist/politics flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.annotation.matcher import DEFAULT_THETA
+from repro.core.results import ClusterKey, PipelineResult
+from repro.hashing.index import MultiIndexHash
+from repro.hashing.phash import phash
+
+__all__ = ["MonitorVerdict", "MemeMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorVerdict:
+    """The monitor's decision for one image.
+
+    Attributes
+    ----------
+    matched:
+        Whether the image lies within θ of a known meme cluster medoid.
+    cluster:
+        The matched cluster's key, or ``None``.
+    entry:
+        The representative KYM entry of the matched cluster.
+    distance:
+        Hamming distance to the matched medoid (-1 if unmatched).
+    is_racist, is_politics:
+        Group flags of the matched meme (False when unmatched).
+    """
+
+    matched: bool
+    cluster: ClusterKey | None
+    entry: str | None
+    distance: int
+    is_racist: bool
+    is_politics: bool
+
+    @classmethod
+    def no_match(cls) -> "MonitorVerdict":
+        return cls(
+            matched=False,
+            cluster=None,
+            entry=None,
+            distance=-1,
+            is_racist=False,
+            is_politics=False,
+        )
+
+
+class MemeMonitor:
+    """Classify incoming images against a pipeline run's annotated memes.
+
+    Parameters
+    ----------
+    result:
+        A completed pipeline run whose annotated clusters form the
+        knowledge base.
+    theta:
+        Matching threshold (the paper's θ = 8).
+
+    Examples
+    --------
+    >>> # monitor = MemeMonitor(pipeline_result)
+    >>> # verdict = monitor.classify_image(uploaded_image)
+    >>> # if verdict.matched and verdict.is_racist: flag_for_review()
+    """
+
+    def __init__(self, result: PipelineResult, *, theta: int = DEFAULT_THETA) -> None:
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.theta = theta
+        self._keys = list(result.cluster_keys)
+        self._annotations = [result.annotations[key] for key in self._keys]
+        medoids = np.array(
+            [annotation.medoid_hash for annotation in self._annotations],
+            dtype=np.uint64,
+        )
+        self._index = MultiIndexHash(medoids) if medoids.size else None
+
+    def __len__(self) -> int:
+        """Number of known meme clusters."""
+        return len(self._keys)
+
+    def classify_hash(self, value: np.uint64 | int) -> MonitorVerdict:
+        """Classify a pre-computed pHash."""
+        if self._index is None:
+            return MonitorVerdict.no_match()
+        pairs = self._index.query(int(value), self.theta)
+        if not pairs:
+            return MonitorVerdict.no_match()
+        position, distance = min(pairs, key=lambda p: (p[1], p[0]))
+        annotation = self._annotations[position]
+        return MonitorVerdict(
+            matched=True,
+            cluster=self._keys[position],
+            entry=annotation.representative,
+            distance=int(distance),
+            is_racist=annotation.is_racist,
+            is_politics=annotation.is_politics,
+        )
+
+    def classify_image(self, image: np.ndarray) -> MonitorVerdict:
+        """Hash a raster and classify it."""
+        return self.classify_hash(phash(image))
+
+    def classify_batch(self, hashes: np.ndarray) -> list[MonitorVerdict]:
+        """Classify many pHashes (memoised over duplicates)."""
+        hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
+        cache: dict[int, MonitorVerdict] = {}
+        verdicts = []
+        for value in hashes:
+            key = int(value)
+            verdict = cache.get(key)
+            if verdict is None:
+                verdict = self.classify_hash(key)
+                cache[key] = verdict
+            verdicts.append(verdict)
+        return verdicts
+
+    def flagged_entries(self) -> dict[str, tuple[bool, bool]]:
+        """All known entries with their (racist, politics) flags."""
+        flags: dict[str, tuple[bool, bool]] = {}
+        for annotation in self._annotations:
+            flags[annotation.representative] = (
+                annotation.is_racist,
+                annotation.is_politics,
+            )
+        return flags

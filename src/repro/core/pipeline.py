@@ -1,0 +1,203 @@
+"""Orchestration of the paper's processing pipeline (Fig. 2, Steps 1-7).
+
+The pipeline consumes a :class:`~repro.communities.world.SyntheticWorld`
+(or any object exposing the same ``posts``/``kym_site`` interface):
+
+1. **pHash extraction** happened at world generation (every post carries
+   its image's pHash, as the paper computes hashes on ingest and discards
+   the raw images).
+2-3. **Pairwise distances + DBSCAN** over each fringe community's image
+   multiset.
+4. **Screenshot removal** from KYM galleries (oracle flags or the CNN).
+5. **Cluster annotation** of medoids against the filtered galleries.
+6. **Association** of every community's posts with annotated medoids.
+7. The analysis layer (:mod:`repro.analysis`) consumes the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.annotation.kym import KYMSite
+from repro.annotation.association import associate_hashes
+from repro.annotation.matcher import annotate_clusters
+from repro.annotation.screenshots import ScreenshotClassifier, build_screenshot_dataset
+from repro.clustering.dbscan import dbscan
+from repro.clustering.medoid import medoids_by_cluster
+from repro.communities.models import FRINGE_COMMUNITIES, Post
+from repro.core.config import PipelineConfig
+from repro.core.results import (
+    ClusterKey,
+    CommunityClustering,
+    OccurrenceTable,
+    PipelineResult,
+)
+from repro.utils.rng import derive_rng
+
+__all__ = ["run_pipeline", "cluster_community", "filter_kym_screenshots"]
+
+
+def cluster_community(
+    community: str,
+    posts: list[Post],
+    config: PipelineConfig,
+) -> CommunityClustering:
+    """Steps 2-3 for one fringe community's image multiset."""
+    image_hashes = np.array(
+        [post.phash for post in posts if post.community == community],
+        dtype=np.uint64,
+    )
+    if image_hashes.size == 0:
+        unique = np.empty(0, dtype=np.uint64)
+        counts = np.empty(0, dtype=np.int64)
+        result = dbscan(unique, eps=config.clustering_eps)
+        return CommunityClustering(
+            community=community,
+            unique_hashes=unique,
+            counts=counts,
+            result=result,
+            medoids={},
+        )
+    unique, counts = np.unique(image_hashes, return_counts=True)
+    result = dbscan(
+        unique,
+        eps=config.clustering_eps,
+        min_samples=config.clustering_min_samples,
+        method=config.neighbor_method,
+        counts=counts,
+    )
+    medoid_positions = medoids_by_cluster(unique, result.labels, counts)
+    medoids = {
+        cluster_id: np.uint64(unique[position])
+        for cluster_id, position in medoid_positions.items()
+    }
+    return CommunityClustering(
+        community=community,
+        unique_hashes=unique,
+        counts=counts,
+        result=result,
+        medoids=medoids,
+    )
+
+
+def filter_kym_screenshots(
+    site: KYMSite,
+    config: PipelineConfig,
+    *,
+    seed: int = 0,
+    library=None,
+):
+    """Step 4: decide which gallery images to exclude as screenshots.
+
+    Returns ``(exclude_oracle, report)`` where ``exclude_oracle`` tells
+    the annotator whether to drop ground-truth-flagged screenshots, and
+    ``report`` carries classifier metrics when the CNN mode ran.
+
+    In ``"classifier"`` mode the CNN is trained on synthetic
+    screenshot/organic data and *applied to the galleries' retained
+    rasters*; its decisions overwrite the oracle flags.
+    """
+    if config.screenshot_filter == "none":
+        return False, None
+    if config.screenshot_filter == "oracle":
+        return True, None
+    if library is None:
+        raise ValueError("classifier mode needs the template library")
+    rng = derive_rng(seed, "screenshot-classifier")
+    x, y = build_screenshot_dataset(library, rng)
+    classifier = ScreenshotClassifier(rng)
+    x_train, y_train, x_test, y_test = classifier.train_eval_split(x, y, rng)
+    classifier.fit(x_train, y_train)
+    report = classifier.evaluate(x_test, y_test)
+    # Re-flag gallery images that kept their rasters.
+    for entry in site:
+        for index, image in enumerate(entry.gallery):
+            if image.image is None:
+                continue
+            decided = classifier.is_screenshot(image.image)
+            if decided != image.is_screenshot:
+                entry.gallery[index] = type(image)(
+                    phash=image.phash,
+                    is_screenshot=decided,
+                    template_name=image.template_name,
+                    image=image.image,
+                )
+    return True, report
+
+
+def run_pipeline(world, config: PipelineConfig | None = None) -> PipelineResult:
+    """Run Steps 2-6 over a generated world.
+
+    Parameters
+    ----------
+    world:
+        A :class:`~repro.communities.world.SyntheticWorld` (or compatible
+        object with ``posts``, ``kym_site``, ``library`` and
+        ``catalog_entry``).
+    config:
+        Pipeline constants; defaults to the paper's values.
+    """
+    config = config or PipelineConfig()
+
+    # Steps 2-3: cluster each fringe community.
+    clusterings = {
+        community: cluster_community(community, world.posts, config)
+        for community in FRINGE_COMMUNITIES
+    }
+
+    # Step 4: screenshot handling for the annotation site.
+    exclude_screenshots, screenshot_report = filter_kym_screenshots(
+        world.kym_site, config, library=getattr(world, "library", None)
+    )
+
+    # Step 5: annotate each community's clusters against KYM.
+    annotations: dict[ClusterKey, object] = {}
+    cluster_keys: list[ClusterKey] = []
+    for community, clustering in clusterings.items():
+        community_annotations = annotate_clusters(
+            clustering.medoids,
+            world.kym_site,
+            theta=config.theta,
+            exclude_screenshots=exclude_screenshots,
+        )
+        for cluster_id, annotation in sorted(community_annotations.items()):
+            key = ClusterKey(community, cluster_id)
+            annotations[key] = annotation
+            cluster_keys.append(key)
+
+    # Step 6: associate every post's image with the annotated medoids.
+    medoid_by_global = {
+        index: int(annotations[key].medoid_hash)
+        for index, key in enumerate(cluster_keys)
+    }
+    all_hashes = np.array([post.phash for post in world.posts], dtype=np.uint64)
+    association = associate_hashes(all_hashes, medoid_by_global, theta=config.theta)
+
+    matched = association.cluster_ids >= 0
+    matched_posts = [post for post, hit in zip(world.posts, matched) if hit]
+    cluster_indices = association.cluster_ids[matched]
+    entry_names = [
+        annotations[cluster_keys[index]].representative for index in cluster_indices
+    ]
+    is_racist = np.array(
+        [annotations[cluster_keys[index]].is_racist for index in cluster_indices],
+        dtype=bool,
+    )
+    is_politics = np.array(
+        [annotations[cluster_keys[index]].is_politics for index in cluster_indices],
+        dtype=bool,
+    )
+    occurrences = OccurrenceTable(
+        posts=matched_posts,
+        cluster_indices=np.asarray(cluster_indices, dtype=np.int64),
+        entry_names=entry_names,
+        is_racist=is_racist,
+        is_politics=is_politics,
+    )
+    return PipelineResult(
+        clusterings=clusterings,
+        annotations=annotations,
+        cluster_keys=cluster_keys,
+        occurrences=occurrences,
+        screenshot_report=screenshot_report,
+    )

@@ -1,0 +1,149 @@
+"""Typed results of the pipeline stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.annotation.matcher import ClusterAnnotation
+from repro.clustering.dbscan import NOISE, DBSCANResult
+from repro.communities.models import Post
+
+__all__ = ["ClusterKey", "CommunityClustering", "OccurrenceTable", "PipelineResult"]
+
+
+class ClusterKey(NamedTuple):
+    """Global identity of a cluster: fringe community + local cluster id."""
+
+    community: str
+    cluster_id: int
+
+    def __str__(self) -> str:
+        return f"{self.community}:{self.cluster_id}"
+
+
+@dataclass(frozen=True)
+class CommunityClustering:
+    """Steps 2-3 output for one fringe community.
+
+    Attributes
+    ----------
+    community:
+        The fringe community clustered.
+    unique_hashes:
+        The deduplicated pHashes the clustering ran over.
+    counts:
+        Image multiplicity per unique hash.
+    result:
+        DBSCAN labels/cores over ``unique_hashes``.
+    medoids:
+        ``{cluster_id: medoid pHash}``.
+    n_images:
+        Total images (sum of ``counts``).
+    """
+
+    community: str
+    unique_hashes: np.ndarray
+    counts: np.ndarray
+    result: DBSCANResult
+    medoids: dict[int, np.uint64]
+
+    @property
+    def n_images(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def n_clusters(self) -> int:
+        return self.result.n_clusters
+
+    @property
+    def image_noise_fraction(self) -> float:
+        """Fraction of *images* labelled noise (Table 2's noise column)."""
+        if self.n_images == 0:
+            return 0.0
+        noise_images = int(self.counts[self.result.labels == NOISE].sum())
+        return noise_images / self.n_images
+
+
+@dataclass(frozen=True)
+class OccurrenceTable:
+    """Flat table of meme occurrences (Step 6 output), column-oriented.
+
+    One row per post whose image matched an annotated cluster.  Columns
+    are aligned numpy arrays / lists for cheap group-bys in the analysis
+    layer.
+    """
+
+    posts: list[Post]
+    cluster_indices: np.ndarray  # index into PipelineResult.cluster_keys
+    entry_names: list[str]  # representative KYM entry per occurrence
+    is_racist: np.ndarray
+    is_politics: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.posts)
+        if not (
+            len(self.cluster_indices)
+            == len(self.entry_names)
+            == len(self.is_racist)
+            == len(self.is_politics)
+            == n
+        ):
+            raise ValueError("occurrence columns must be aligned")
+
+    def __len__(self) -> int:
+        return len(self.posts)
+
+    def communities(self) -> np.ndarray:
+        return np.array([post.community for post in self.posts], dtype=object)
+
+    def timestamps(self) -> np.ndarray:
+        return np.array([post.timestamp for post in self.posts])
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything the Step 1-7 run produced.
+
+    Attributes
+    ----------
+    clusterings:
+        Per fringe community, the Steps 2-3 output.
+    annotations:
+        Per cluster key, the Step 5 annotation (annotated clusters only).
+    cluster_keys:
+        Global ordering of annotated clusters; ``occurrences``'s
+        ``cluster_indices`` point into this list.
+    occurrences:
+        The Step 6 association table over every community's posts.
+    screenshot_report:
+        Step 4 evaluation metrics when the classifier ran, else ``None``.
+    """
+
+    clusterings: dict[str, CommunityClustering]
+    annotations: dict[ClusterKey, ClusterAnnotation]
+    cluster_keys: list[ClusterKey]
+    occurrences: OccurrenceTable
+    screenshot_report: object | None = None
+    _key_index: dict[ClusterKey, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_key_index",
+            {key: i for i, key in enumerate(self.cluster_keys)},
+        )
+
+    def annotation_of(self, key: ClusterKey) -> ClusterAnnotation:
+        return self.annotations[key]
+
+    def annotated_clusters_of(self, community: str) -> list[ClusterKey]:
+        """Annotated cluster keys originating from one fringe community."""
+        return [key for key in self.cluster_keys if key.community == community]
+
+    def n_annotated(self, community: str | None = None) -> int:
+        if community is None:
+            return len(self.cluster_keys)
+        return len(self.annotated_clusters_of(community))

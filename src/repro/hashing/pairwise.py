@@ -1,0 +1,112 @@
+"""Chunked pairwise Hamming computation and radius neighbourhoods (Step 2).
+
+The paper performed all-pairs comparisons of millions of pHashes on a
+TensorFlow multi-GPU rig.  This module provides the same contract at
+laptop scale: chunked numpy broadcasting for dense matrices and
+index-accelerated radius neighbourhoods (the only thing DBSCAN actually
+needs) via :class:`repro.hashing.index.MultiIndexHash`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashing.index import MultiIndexHash
+from repro.utils.bitops import hamming_distance_matrix
+
+__all__ = [
+    "PairwiseResult",
+    "pairwise_distances",
+    "radius_neighbors",
+    "unique_hashes",
+]
+
+
+@dataclass(frozen=True)
+class PairwiseResult:
+    """A dense pairwise-distance computation result.
+
+    Attributes
+    ----------
+    distances:
+        ``(n, m)`` int64 Hamming distance matrix.
+    n_comparisons:
+        Number of hash pairs compared (``n * m``).
+    """
+
+    distances: np.ndarray
+    n_comparisons: int
+
+
+def pairwise_distances(
+    a: np.ndarray,
+    b: np.ndarray | None = None,
+    *,
+    chunk_size: int = 4096,
+) -> PairwiseResult:
+    """Dense all-pairs Hamming distances between hash sets ``a`` and ``b``."""
+    a = np.ascontiguousarray(a, dtype=np.uint64)
+    b_arr = a if b is None else np.ascontiguousarray(b, dtype=np.uint64)
+    matrix = hamming_distance_matrix(a, b_arr, chunk_size=chunk_size)
+    return PairwiseResult(distances=matrix, n_comparisons=int(a.size * b_arr.size))
+
+
+def radius_neighbors(
+    hashes: np.ndarray,
+    radius: int,
+    *,
+    method: str = "auto",
+    brute_force_limit: int = 2000,
+) -> list[np.ndarray]:
+    """Neighbour lists within ``radius`` for every hash (self included).
+
+    Parameters
+    ----------
+    hashes:
+        1-D ``uint64`` array.
+    radius:
+        Maximum Hamming distance (inclusive).
+    method:
+        ``"brute"`` computes the dense matrix; ``"mih"`` uses multi-index
+        hashing; ``"auto"`` picks by collection size.
+    brute_force_limit:
+        ``auto`` switches to MIH above this many hashes.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        ``result[i]`` holds the sorted indices ``j`` with
+        ``hamming(hashes[i], hashes[j]) <= radius``; always contains ``i``.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
+    if method not in ("auto", "brute", "mih"):
+        raise ValueError(f"unknown method {method!r}")
+    if method == "auto":
+        method = "brute" if hashes.size <= brute_force_limit else "mih"
+    if hashes.size == 0:
+        return []
+    if method == "brute":
+        matrix = hamming_distance_matrix(hashes)
+        return [np.flatnonzero(row <= radius) for row in matrix]
+    return MultiIndexHash(hashes).radius_neighbors(radius)
+
+
+def unique_hashes(hashes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deduplicate a hash array.
+
+    Mirrors the paper's "unique pHashes" dataset statistic (Table 1):
+    identical images (or byte-identical re-uploads) collapse to one hash.
+
+    Returns
+    -------
+    (unique, inverse, counts):
+        ``unique`` sorted unique hashes; ``inverse`` maps each input row to
+        its position in ``unique``; ``counts`` is the multiplicity of each
+        unique hash.
+    """
+    hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
+    return np.unique(hashes, return_inverse=True, return_counts=True)

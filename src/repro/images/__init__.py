@@ -1,0 +1,53 @@
+"""Synthetic raster-image substrate.
+
+The paper processes 160M crawled images.  Offline, we substitute a
+procedural image world: a library of "meme templates" (composited
+geometric/texture scenes, each with a stable visual identity) plus variant
+transforms (noise, brightness, crops, caption bars, overlays) that mimic
+how meme variants differ from their template.  The substitution preserves
+what the pipeline actually consumes — pixel structure with near-duplicate
+geometry under pHash — as documented in DESIGN.md.
+"""
+
+from repro.images.raster import (
+    Image,
+    blank,
+    clip01,
+    resize,
+    to_grayscale_array,
+)
+from repro.images.screenshots import render_screenshot
+from repro.images.templates import MemeTemplate, TemplateLibrary
+from repro.images.transforms import (
+    VariantSpec,
+    add_caption_bar,
+    add_noise,
+    adjust_brightness,
+    adjust_contrast,
+    crop_and_resize,
+    mirror,
+    overlay_patch,
+    posterize,
+    random_variant,
+)
+
+__all__ = [
+    "Image",
+    "blank",
+    "clip01",
+    "resize",
+    "to_grayscale_array",
+    "MemeTemplate",
+    "TemplateLibrary",
+    "VariantSpec",
+    "add_noise",
+    "adjust_brightness",
+    "adjust_contrast",
+    "crop_and_resize",
+    "add_caption_bar",
+    "overlay_patch",
+    "mirror",
+    "posterize",
+    "random_variant",
+    "render_screenshot",
+]

@@ -1,0 +1,165 @@
+"""Procedural drawing primitives used to compose synthetic scenes.
+
+All functions draw *in place* on a grayscale image (2-D float32 array in
+``[0, 1]``) and also return it, so calls can be chained.  Coordinates are
+fractional (0..1 of the image extent) so the same scene renders at any
+resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import uniform_filter
+
+from repro.images.raster import Image, clip01
+
+__all__ = [
+    "fill_gradient",
+    "fill_checkerboard",
+    "draw_rect",
+    "draw_ellipse",
+    "draw_line",
+    "draw_polygon",
+    "draw_texture",
+]
+
+
+def _grid(image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Fractional (y, x) coordinate grids for ``image``."""
+    h, w = image.shape
+    ys = (np.arange(h) + 0.5) / h
+    xs = (np.arange(w) + 0.5) / w
+    return np.meshgrid(ys, xs, indexing="ij")
+
+
+def fill_gradient(image: Image, start: float, stop: float, angle: float = 0.0) -> Image:
+    """Fill with a linear gradient from ``start`` to ``stop`` along ``angle``.
+
+    ``angle`` is in radians; 0 is left-to-right, pi/2 is top-to-bottom.
+    """
+    yy, xx = _grid(image)
+    t = xx * np.cos(angle) + yy * np.sin(angle)
+    t = (t - t.min()) / max(t.max() - t.min(), 1e-12)
+    image[:] = clip01(start + (stop - start) * t)
+    return image
+
+
+def fill_checkerboard(image: Image, cells: int, low: float, high: float) -> Image:
+    """Fill with a ``cells`` x ``cells`` checkerboard of ``low``/``high``."""
+    if cells <= 0:
+        raise ValueError("cells must be positive")
+    yy, xx = _grid(image)
+    parity = (np.floor(yy * cells) + np.floor(xx * cells)) % 2
+    image[:] = np.where(parity > 0.5, np.float32(high), np.float32(low))
+    return image
+
+
+def draw_rect(
+    image: Image,
+    y: float,
+    x: float,
+    h: float,
+    w: float,
+    value: float,
+    *,
+    alpha: float = 1.0,
+) -> Image:
+    """Blend a filled axis-aligned rectangle at fractional (y, x, h, w)."""
+    yy, xx = _grid(image)
+    mask = (yy >= y) & (yy < y + h) & (xx >= x) & (xx < x + w)
+    image[mask] = clip01(image[mask] * (1 - alpha) + value * alpha)
+    return image
+
+
+def draw_ellipse(
+    image: Image,
+    cy: float,
+    cx: float,
+    ry: float,
+    rx: float,
+    value: float,
+    *,
+    alpha: float = 1.0,
+) -> Image:
+    """Blend a filled ellipse centred at (cy, cx) with radii (ry, rx)."""
+    if ry <= 0 or rx <= 0:
+        raise ValueError("ellipse radii must be positive")
+    yy, xx = _grid(image)
+    mask = ((yy - cy) / ry) ** 2 + ((xx - cx) / rx) ** 2 <= 1.0
+    image[mask] = clip01(image[mask] * (1 - alpha) + value * alpha)
+    return image
+
+
+def draw_line(
+    image: Image,
+    y0: float,
+    x0: float,
+    y1: float,
+    x1: float,
+    value: float,
+    *,
+    thickness: float = 0.02,
+) -> Image:
+    """Draw a thick line segment between two fractional endpoints."""
+    yy, xx = _grid(image)
+    dy, dx = y1 - y0, x1 - x0
+    length_sq = dy * dy + dx * dx
+    if length_sq < 1e-12:
+        return draw_ellipse(image, y0, x0, thickness, thickness, value)
+    t = ((yy - y0) * dy + (xx - x0) * dx) / length_sq
+    t = np.clip(t, 0.0, 1.0)
+    dist_sq = (yy - (y0 + t * dy)) ** 2 + (xx - (x0 + t * dx)) ** 2
+    mask = dist_sq <= thickness * thickness
+    image[mask] = np.float32(value)
+    return image
+
+
+def draw_polygon(
+    image: Image,
+    vertices: np.ndarray,
+    value: float,
+    *,
+    alpha: float = 1.0,
+) -> Image:
+    """Blend a filled convex/concave polygon given ``(N, 2)`` (y, x) vertices.
+
+    Uses the even-odd (crossing-number) rule, vectorised over pixels.
+    """
+    verts = np.asarray(vertices, dtype=np.float64)
+    if verts.ndim != 2 or verts.shape[1] != 2 or len(verts) < 3:
+        raise ValueError("vertices must be an (N>=3, 2) array of (y, x)")
+    yy, xx = _grid(image)
+    inside = np.zeros(image.shape, dtype=bool)
+    n = len(verts)
+    for i in range(n):
+        y_i, x_i = verts[i]
+        y_j, x_j = verts[(i + 1) % n]
+        crosses = (y_i > yy) != (y_j > yy)
+        denominator = np.where(crosses, y_j - y_i, 1.0)
+        x_at = x_i + (yy - y_i) * (x_j - x_i) / denominator
+        inside ^= crosses & (xx < x_at)
+    image[inside] = clip01(image[inside] * (1 - alpha) + value * alpha)
+    return image
+
+
+def draw_texture(
+    image: Image,
+    rng: np.random.Generator,
+    *,
+    scale: int = 8,
+    strength: float = 0.1,
+) -> Image:
+    """Add smooth value noise (a cheap Perlin substitute) of the given scale."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    h, w = image.shape
+    coarse = rng.random((max(h // scale, 1), max(w // scale, 1)))
+    # Upsample by repetition then smooth with a separable 3x3 box blur.
+    up = np.kron(coarse, np.ones((scale, scale)))[:h, :w]
+    if up.shape != (h, w):
+        padded = np.zeros((h, w))
+        padded[: up.shape[0], : up.shape[1]] = up
+        up = padded
+    up = uniform_filter(up, size=3, mode="nearest")
+    image[:] = clip01(image + (up - 0.5) * 2 * strength)
+    return image

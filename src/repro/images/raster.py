@@ -1,0 +1,105 @@
+"""The ``Image`` type: a grayscale raster backed by a numpy array.
+
+Images are 2-D ``float32`` arrays with values in ``[0, 1]``.  Grayscale is
+sufficient for the whole pipeline — pHash (the only consumer of pixels in
+the paper's Steps 1–6) converts to grayscale before hashing — and keeps the
+synthetic world cheap enough to run tens of thousands of images per test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Image", "blank", "clip01", "resize", "to_grayscale_array"]
+
+DEFAULT_SIZE = 64
+
+# An Image is simply a 2-D float32 array in [0, 1]; the alias documents
+# intent at call sites without wrapping numpy in a class.
+Image = np.ndarray
+
+
+def blank(
+    height: int = DEFAULT_SIZE,
+    width: int | None = None,
+    *,
+    fill: float = 0.0,
+) -> Image:
+    """Return a new ``height`` x ``width`` image filled with ``fill``."""
+    if width is None:
+        width = height
+    if height <= 0 or width <= 0:
+        raise ValueError(f"image dimensions must be positive, got {height}x{width}")
+    return np.full((height, width), np.float32(fill), dtype=np.float32)
+
+
+def clip01(image: np.ndarray) -> Image:
+    """Clip pixel values into ``[0, 1]`` and cast to ``float32``."""
+    return np.clip(image, 0.0, 1.0).astype(np.float32)
+
+
+def to_grayscale_array(image: np.ndarray) -> Image:
+    """Coerce arbitrary array input into a valid grayscale image.
+
+    Accepts 2-D arrays (already grayscale) or 3-D ``(H, W, C)`` arrays,
+    which are averaged over channels.  Integer inputs are assumed to be in
+    ``[0, 255]``.
+    """
+    arr = np.asarray(image)
+    if arr.ndim == 3:
+        arr = arr.mean(axis=2)
+    if arr.ndim != 2:
+        raise ValueError(f"expected 2-D or 3-D array, got ndim={arr.ndim}")
+    arr = arr.astype(np.float64)
+    if np.issubdtype(np.asarray(image).dtype, np.integer):
+        arr = arr / 255.0
+    return clip01(arr)
+
+
+def resize(image: np.ndarray, height: int, width: int | None = None) -> Image:
+    """Resize with bilinear interpolation (antialiased by pre-pooling).
+
+    Downscales first block-average to the nearest integer factor (a cheap
+    antialias that keeps pHash stable, mirroring what PIL's ``ANTIALIAS``
+    did for the paper's pipeline), then maps the remainder bilinearly.
+    """
+    if width is None:
+        width = height
+    if height <= 0 or width <= 0:
+        raise ValueError(f"target dimensions must be positive, got {height}x{width}")
+    src = np.asarray(image, dtype=np.float64)
+    if src.ndim != 2:
+        raise ValueError("resize expects a 2-D grayscale image")
+
+    # Integer block-average pre-pooling when shrinking by >= 2x.
+    fy = src.shape[0] // height
+    fx = src.shape[1] // width
+    if fy >= 2 or fx >= 2:
+        fy = max(fy, 1)
+        fx = max(fx, 1)
+        ny = (src.shape[0] // fy) * fy
+        nx = (src.shape[1] // fx) * fx
+        src = src[:ny, :nx].reshape(ny // fy, fy, nx // fx, fx).mean(axis=(1, 3))
+
+    if src.shape == (height, width):
+        return clip01(src)
+    return clip01(_bilinear(src, height, width))
+
+
+def _bilinear(src: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Plain bilinear resample of ``src`` to ``(height, width)``."""
+    src_h, src_w = src.shape
+    # Pixel-centre alignment: output centre u maps to input centre.
+    ys = (np.arange(height) + 0.5) * src_h / height - 0.5
+    xs = (np.arange(width) + 0.5) * src_w / width - 0.5
+    ys = np.clip(ys, 0, src_h - 1)
+    xs = np.clip(xs, 0, src_w - 1)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, src_h - 1)
+    x1 = np.minimum(x0 + 1, src_w - 1)
+    wy = (ys - y0)[:, None]
+    wx = (xs - x0)[None, :]
+    top = src[np.ix_(y0, x0)] * (1 - wx) + src[np.ix_(y0, x1)] * wx
+    bottom = src[np.ix_(y1, x0)] * (1 - wx) + src[np.ix_(y1, x1)] * wx
+    return top * (1 - wy) + bottom * wy

@@ -1,0 +1,108 @@
+"""Synthetic social-network screenshots.
+
+KYM galleries are contaminated with screenshots of posts *about* a meme
+(paper Step 4); a CNN filters them out.  This module renders the synthetic
+equivalent: a light page with a header band, avatar disc, and rows of
+text-like bars — a visual signature sharply different from organic meme
+images, which is exactly what the classifier learns to separate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.images import draw
+from repro.images.raster import DEFAULT_SIZE, Image, blank
+
+__all__ = ["render_screenshot", "PLATFORM_STYLES"]
+
+# Per-platform style knobs: (page value, header value, dark mode prob.)
+PLATFORM_STYLES: dict[str, tuple[float, float, float]] = {
+    "twitter": (0.97, 0.55, 0.3),
+    "4chan": (0.88, 0.75, 0.0),
+    "reddit": (0.95, 0.80, 0.2),
+    "facebook": (0.96, 0.45, 0.1),
+    "instagram": (0.98, 0.90, 0.1),
+}
+
+
+def render_screenshot(
+    rng: np.random.Generator,
+    *,
+    platform: str | None = None,
+    size: int = DEFAULT_SIZE,
+) -> Image:
+    """Render a synthetic screenshot of a social-network post.
+
+    Parameters
+    ----------
+    rng:
+        Source of layout randomness (each call yields a distinct post).
+    platform:
+        One of :data:`PLATFORM_STYLES`; random when omitted.
+    size:
+        Output resolution (square).
+    """
+    if platform is None:
+        platform = str(rng.choice(sorted(PLATFORM_STYLES)))
+    if platform not in PLATFORM_STYLES:
+        raise ValueError(f"unknown platform {platform!r}")
+    page, header, dark_prob = PLATFORM_STYLES[platform]
+    dark = rng.random() < dark_prob
+    if dark:
+        page, header = 1.0 - page, 1.0 - header
+    text_value = 0.15 if not dark else 0.85
+
+    image = blank(size, fill=page)
+    # Header band of varying height (different clients crop differently).
+    header_height = float(rng.uniform(0.06, 0.2))
+    draw.draw_rect(image, 0.0, 0.0, header_height, 1.0, header)
+    # Avatar disc + handle bar at a jittered position.
+    avatar_y = header_height + float(rng.uniform(0.03, 0.1))
+    avatar_x = float(rng.uniform(0.06, 0.16))
+    avatar_r = float(rng.uniform(0.035, 0.07))
+    draw.draw_ellipse(image, avatar_y, avatar_x, avatar_r, avatar_r, text_value)
+    draw.draw_rect(
+        image,
+        avatar_y - 0.02,
+        avatar_x + avatar_r + 0.04,
+        0.035,
+        float(rng.uniform(0.2, 0.45)),
+        text_value,
+    )
+    # Body: rows of text bars with ragged right edges, variable pitch.
+    y = avatar_y + avatar_r + float(rng.uniform(0.03, 0.09))
+    pitch = float(rng.uniform(0.06, 0.11))
+    bar_height = float(rng.uniform(0.03, 0.055))
+    n_lines = int(rng.integers(2, 8))
+    for _ in range(n_lines):
+        width = float(rng.uniform(0.4, 0.9))
+        draw.draw_rect(image, y, 0.06, bar_height, width, text_value, alpha=0.9)
+        y += pitch
+        if y > 0.76:
+            break
+    # Some posts embed a media preview block.
+    if rng.random() < 0.4:
+        block_h = float(rng.uniform(0.1, min(0.82 - y, 0.3))) if y < 0.7 else 0.0
+        if block_h > 0.05:
+            draw.draw_rect(
+                image, y, 0.08, block_h, 0.84, float(rng.uniform(0.3, 0.7))
+            )
+            draw.draw_texture(image, rng, scale=6, strength=0.08)
+    # Engagement row: small glyphs near the bottom, variable count.
+    n_glyphs = int(rng.integers(3, 6))
+    for k in range(n_glyphs):
+        draw.draw_rect(
+            image,
+            0.88,
+            0.08 + (0.8 / n_glyphs) * k,
+            0.04,
+            0.05,
+            text_value,
+            alpha=0.8,
+        )
+    # Light page noise so screenshots are not pixel-identical.
+    image[:] = np.clip(
+        image + rng.normal(0.0, 0.01, size=image.shape), 0.0, 1.0
+    ).astype(np.float32)
+    return image

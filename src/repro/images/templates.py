@@ -1,0 +1,192 @@
+"""Procedural meme templates: the visual identities of the synthetic world.
+
+A *template* corresponds to a meme's base image (e.g. "Smug Frog").
+Templates within the same *family* (e.g. the frog memes of the paper's
+Section 4.1.2) share a base scene and differ by added elements, so their
+pHashes are closer to each other than to unrelated templates — giving the
+phylogeny analyses (Fig. 6/7) real structure to recover.  Renders are
+deterministic: the same template always produces the same pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.images import draw
+from repro.images.raster import DEFAULT_SIZE, Image, blank
+
+__all__ = ["SceneOp", "MemeTemplate", "TemplateLibrary"]
+
+
+@dataclass(frozen=True)
+class SceneOp:
+    """One drawing operation of a scene: primitive name + parameters."""
+
+    kind: str
+    params: tuple[float, ...]
+
+    def apply(self, image: Image) -> None:
+        p = self.params
+        if self.kind == "gradient":
+            draw.fill_gradient(image, p[0], p[1], p[2])
+        elif self.kind == "checker":
+            draw.fill_checkerboard(image, int(p[0]), p[1], p[2])
+        elif self.kind == "rect":
+            draw.draw_rect(image, p[0], p[1], p[2], p[3], p[4], alpha=p[5])
+        elif self.kind == "ellipse":
+            draw.draw_ellipse(image, p[0], p[1], p[2], p[3], p[4], alpha=p[5])
+        elif self.kind == "line":
+            draw.draw_line(image, p[0], p[1], p[2], p[3], p[4], thickness=p[5])
+        elif self.kind == "triangle":
+            vertices = np.array([[p[0], p[1]], [p[2], p[3]], [p[4], p[5]]])
+            draw.draw_polygon(image, vertices, p[6], alpha=p[7])
+        else:
+            raise ValueError(f"unknown scene op kind: {self.kind!r}")
+
+
+def _random_background(rng: np.random.Generator) -> SceneOp:
+    if rng.random() < 0.7:
+        start, stop = sorted(rng.uniform(0.05, 0.95, size=2))
+        angle = rng.uniform(0, np.pi)
+        return SceneOp("gradient", (float(start), float(stop), float(angle)))
+    cells = int(rng.integers(2, 7))
+    low, high = sorted(rng.uniform(0.1, 0.9, size=2))
+    return SceneOp("checker", (cells, float(low), float(high)))
+
+
+def _random_shape(rng: np.random.Generator) -> SceneOp:
+    kind = rng.choice(["rect", "ellipse", "line", "triangle"])
+    value = float(rng.uniform(0.0, 1.0))
+    if kind == "rect":
+        y, x = rng.uniform(0.0, 0.7, size=2)
+        h, w = rng.uniform(0.1, 0.45, size=2)
+        return SceneOp("rect", (float(y), float(x), float(h), float(w), value, 1.0))
+    if kind == "ellipse":
+        cy, cx = rng.uniform(0.2, 0.8, size=2)
+        ry, rx = rng.uniform(0.08, 0.3, size=2)
+        return SceneOp(
+            "ellipse", (float(cy), float(cx), float(ry), float(rx), value, 1.0)
+        )
+    if kind == "line":
+        y0, x0, y1, x1 = rng.uniform(0.0, 1.0, size=4)
+        thickness = float(rng.uniform(0.015, 0.05))
+        return SceneOp(
+            "line", (float(y0), float(x0), float(y1), float(x1), value, thickness)
+        )
+    pts = rng.uniform(0.1, 0.9, size=6)
+    return SceneOp("triangle", tuple(float(v) for v in pts) + (value, 1.0))
+
+
+@dataclass(frozen=True)
+class MemeTemplate:
+    """A deterministic renderable meme base image.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier, e.g. ``"smug-frog"``.
+    family:
+        Family slug shared by visually related templates, e.g. ``"frog"``.
+    ops:
+        Scene operations applied in order onto a blank canvas.
+    """
+
+    name: str
+    family: str
+    ops: tuple[SceneOp, ...] = field(repr=False)
+
+    def render(self, size: int = DEFAULT_SIZE) -> Image:
+        """Render the template at ``size`` x ``size`` pixels."""
+        image = blank(size)
+        for op in self.ops:
+            op.apply(image)
+        return image
+
+
+class TemplateLibrary:
+    """A collection of families of :class:`MemeTemplate`.
+
+    Parameters
+    ----------
+    templates:
+        The templates, in creation order.
+
+    Use :meth:`build` to synthesise a library from an RNG.
+    """
+
+    def __init__(self, templates: list[MemeTemplate]) -> None:
+        self.templates = list(templates)
+        self._by_name = {t.name: t for t in self.templates}
+        if len(self._by_name) != len(self.templates):
+            raise ValueError("duplicate template names in library")
+
+    @classmethod
+    def build(
+        cls,
+        rng: np.random.Generator,
+        families: dict[str, int],
+        *,
+        shapes_per_family: int = 2,
+        shapes_per_template: int = 5,
+    ) -> "TemplateLibrary":
+        """Create a library with the given ``{family: n_templates}`` layout.
+
+        Each family draws a shared base scene (background + base shapes);
+        each member template appends its own shapes on top, so same-family
+        templates are perceptually nearer to each other than to strangers.
+        """
+        named = {
+            family: [f"{family}-{index}" for index in range(count)]
+            for family, count in families.items()
+        }
+        return cls.build_named(
+            rng,
+            named,
+            shapes_per_family=shapes_per_family,
+            shapes_per_template=shapes_per_template,
+        )
+
+    @classmethod
+    def build_named(
+        cls,
+        rng: np.random.Generator,
+        names_by_family: dict[str, list[str]],
+        *,
+        shapes_per_family: int = 2,
+        shapes_per_template: int = 5,
+    ) -> "TemplateLibrary":
+        """Like :meth:`build` but with caller-chosen template names.
+
+        Used to give templates the identities of catalog entries, e.g.
+        ``{"frog": ["smug-frog", "pepe-the-frog"]}``.
+        """
+        templates: list[MemeTemplate] = []
+        for family, names in names_by_family.items():
+            if not names:
+                raise ValueError(f"family {family!r} must have >= 1 template")
+            base_ops = [_random_background(rng)]
+            base_ops += [_random_shape(rng) for _ in range(shapes_per_family)]
+            for name in names:
+                own = [_random_shape(rng) for _ in range(shapes_per_template)]
+                templates.append(
+                    MemeTemplate(name=name, family=family, ops=tuple(base_ops + own))
+                )
+        return cls(templates)
+
+    def __len__(self) -> int:
+        return len(self.templates)
+
+    def __iter__(self):
+        return iter(self.templates)
+
+    def __getitem__(self, name: str) -> MemeTemplate:
+        return self._by_name[name]
+
+    def families(self) -> dict[str, list[MemeTemplate]]:
+        """Group templates by family, preserving order."""
+        grouped: dict[str, list[MemeTemplate]] = {}
+        for template in self.templates:
+            grouped.setdefault(template.family, []).append(template)
+        return grouped

@@ -1,0 +1,202 @@
+"""Variant transforms: how meme variants differ from their template.
+
+Real meme variants add captions, crop, recompress, brighten, or paste small
+overlays onto a base image.  Each transform here reproduces one of those
+operations on the synthetic rasters; :func:`random_variant` composes a
+plausible mix.  The transforms are calibrated so that a typical variant
+stays within pHash Hamming distance ~8 of its template (the paper's cluster
+threshold) while heavy stacks can push beyond it, producing the "branching"
+of memes into sub-variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.images.raster import Image, clip01, resize
+
+__all__ = [
+    "add_noise",
+    "adjust_brightness",
+    "adjust_contrast",
+    "crop_and_resize",
+    "add_caption_bar",
+    "overlay_patch",
+    "mirror",
+    "posterize",
+    "VariantSpec",
+    "random_variant",
+]
+
+
+def add_noise(image: Image, rng: np.random.Generator, sigma: float = 0.02) -> Image:
+    """Additive Gaussian pixel noise (sensor noise / recompression grain)."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    return clip01(image + rng.normal(0.0, sigma, size=image.shape))
+
+
+def adjust_brightness(image: Image, delta: float) -> Image:
+    """Shift all pixel values by ``delta`` (positive = brighter)."""
+    return clip01(np.asarray(image, dtype=np.float64) + delta)
+
+
+def adjust_contrast(image: Image, factor: float) -> Image:
+    """Scale contrast around the image mean by ``factor``."""
+    if factor < 0:
+        raise ValueError("contrast factor must be non-negative")
+    arr = np.asarray(image, dtype=np.float64)
+    mean = arr.mean()
+    return clip01(mean + (arr - mean) * factor)
+
+
+def crop_and_resize(image: Image, margin: float) -> Image:
+    """Crop a centred window with fractional ``margin`` and resize back.
+
+    ``margin=0.1`` removes 10% from every side, as when a variant is
+    re-screenshotted or trimmed.
+    """
+    if not 0 <= margin < 0.5:
+        raise ValueError("margin must be in [0, 0.5)")
+    h, w = image.shape
+    dy = int(round(h * margin))
+    dx = int(round(w * margin))
+    cropped = image[dy : h - dy or None, dx : w - dx or None]
+    return resize(cropped, h, w)
+
+
+def add_caption_bar(
+    image: Image,
+    rng: np.random.Generator,
+    *,
+    position: str = "top",
+    height: float = 0.15,
+) -> Image:
+    """Paste a caption band (white bar with dark text-like blocks).
+
+    This is the image-macro operation: memes gain top/bottom text.  The
+    "text" is a row of dark blocks with random word lengths.
+    """
+    if position not in ("top", "bottom"):
+        raise ValueError("position must be 'top' or 'bottom'")
+    if not 0 < height < 0.5:
+        raise ValueError("height must be in (0, 0.5)")
+    out = np.array(image, dtype=np.float32)
+    h, w = out.shape
+    bar_h = max(int(round(h * height)), 2)
+    rows = slice(0, bar_h) if position == "top" else slice(h - bar_h, h)
+    out[rows, :] = 1.0
+    # Text blocks: a single line of dark "words" across the bar.
+    y0 = (bar_h // 4) if position == "top" else h - bar_h + bar_h // 4
+    text_h = max(bar_h // 2, 1)
+    x = int(w * 0.05)
+    while x < int(w * 0.95):
+        word = int(rng.integers(2, max(w // 8, 3)))
+        stop = min(x + word, int(w * 0.95))
+        out[y0 : y0 + text_h, x:stop] = float(rng.uniform(0.0, 0.25))
+        x = stop + max(int(w * 0.02), 1)
+    return out
+
+
+def overlay_patch(
+    image: Image,
+    rng: np.random.Generator,
+    *,
+    size: float = 0.2,
+) -> Image:
+    """Paste a small random-value square patch (a pasted-in element)."""
+    if not 0 < size < 1:
+        raise ValueError("size must be in (0, 1)")
+    out = np.array(image, dtype=np.float32)
+    h, w = out.shape
+    ph = max(int(h * size), 1)
+    pw = max(int(w * size), 1)
+    y = int(rng.integers(0, max(h - ph, 1)))
+    x = int(rng.integers(0, max(w - pw, 1)))
+    out[y : y + ph, x : x + pw] = float(rng.uniform(0.0, 1.0))
+    return out
+
+
+def mirror(image: Image) -> Image:
+    """Horizontal flip."""
+    return np.ascontiguousarray(image[:, ::-1], dtype=np.float32)
+
+
+def posterize(image: Image, levels: int = 8) -> Image:
+    """Quantise pixel values to ``levels`` bins (palette reduction)."""
+    if levels < 2:
+        raise ValueError("levels must be >= 2")
+    arr = np.asarray(image, dtype=np.float64)
+    return clip01(np.round(arr * (levels - 1)) / (levels - 1))
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """How strongly :func:`random_variant` perturbs a template.
+
+    ``light`` variants stay within the clustering threshold of the
+    template; ``heavy`` variants may branch into a separate cluster,
+    mirroring the sub-meme branching described in the paper's Section 2.1.
+    """
+
+    noise_sigma: float = 0.02
+    brightness_range: float = 0.06
+    contrast_range: float = 0.12
+    crop_max: float = 0.04
+    caption_probability: float = 0.35
+    overlay_probability: float = 0.15
+    mirror_probability: float = 0.0
+    posterize_probability: float = 0.1
+
+    extras: tuple[str, ...] = field(default=(), repr=False)
+
+    @classmethod
+    def light(cls) -> "VariantSpec":
+        return cls()
+
+    @classmethod
+    def heavy(cls) -> "VariantSpec":
+        return cls(
+            noise_sigma=0.05,
+            brightness_range=0.15,
+            contrast_range=0.3,
+            crop_max=0.12,
+            caption_probability=0.7,
+            overlay_probability=0.5,
+            mirror_probability=0.25,
+            posterize_probability=0.25,
+        )
+
+
+def random_variant(
+    image: Image,
+    rng: np.random.Generator,
+    spec: VariantSpec | None = None,
+) -> Image:
+    """Produce a meme variant of ``image`` under ``spec`` (default light)."""
+    spec = spec or VariantSpec.light()
+    out = np.array(image, dtype=np.float32)
+    if spec.mirror_probability and rng.random() < spec.mirror_probability:
+        out = mirror(out)
+    if spec.crop_max > 0:
+        out = crop_and_resize(out, float(rng.uniform(0.0, spec.crop_max)))
+    if spec.brightness_range > 0:
+        out = adjust_brightness(
+            out, float(rng.uniform(-spec.brightness_range, spec.brightness_range))
+        )
+    if spec.contrast_range > 0:
+        out = adjust_contrast(
+            out, float(1.0 + rng.uniform(-spec.contrast_range, spec.contrast_range))
+        )
+    if rng.random() < spec.caption_probability:
+        position = "top" if rng.random() < 0.5 else "bottom"
+        out = add_caption_bar(out, rng, position=position)
+    if rng.random() < spec.overlay_probability:
+        out = overlay_patch(out, rng, size=float(rng.uniform(0.1, 0.25)))
+    if rng.random() < spec.posterize_probability:
+        out = posterize(out, levels=int(rng.integers(4, 16)))
+    if spec.noise_sigma > 0:
+        out = add_noise(out, rng, sigma=spec.noise_sigma)
+    return out

@@ -1,0 +1,257 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Conventions: activations are ``float64`` arrays shaped ``(N, H, W, C)``
+for spatial layers and ``(N, D)`` for dense layers.  Each layer caches
+what it needs during ``forward`` and consumes it in ``backward``; the
+``params``/``grads`` pairs are consumed by the optimisers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Layer", "Dense", "ReLU", "Conv2D", "MaxPool2D", "Flatten", "Dropout"]
+
+
+class Layer:
+    """Base layer: stateless by default, trainable layers override."""
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return []
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return []
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W + b``.
+
+    Weights use He initialisation, matched to the ReLU activations the
+    screenshot classifier uses.
+    """
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: np.random.Generator
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.weight.shape[0]:
+            raise ValueError(
+                f"Dense expected (N, {self.weight.shape[0]}), got {x.shape}"
+            )
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_weight[:] = self._input.T @ grad_output
+        self.grad_bias[:] = grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+def _im2col(
+    x: np.ndarray, kernel: int, stride: int
+) -> tuple[np.ndarray, int, int]:
+    """Rearrange ``(N, H, W, C)`` into patch rows for a matmul convolution.
+
+    Returns ``(patches, out_h, out_w)`` where ``patches`` has shape
+    ``(N * out_h * out_w, kernel * kernel * C)``.
+    """
+    n, h, w, c = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    shape = (n, out_h, out_w, kernel, kernel, c)
+    strides = (
+        x.strides[0],
+        x.strides[1] * stride,
+        x.strides[2] * stride,
+        x.strides[1],
+        x.strides[2],
+        x.strides[3],
+    )
+    windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    patches = windows.reshape(n * out_h * out_w, kernel * kernel * c)
+    return np.ascontiguousarray(patches), out_h, out_w
+
+
+class Conv2D(Layer):
+    """Valid (no padding) 2-D convolution via im2col + matmul."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        *,
+        stride: int = 1,
+    ) -> None:
+        if kernel_size <= 0 or stride <= 0:
+            raise ValueError("kernel_size and stride must be positive")
+        fan_in = kernel_size * kernel_size * in_channels
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = rng.normal(0.0, scale, size=(fan_in, out_channels))
+        self.bias = np.zeros(out_channels)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self._cache: tuple[np.ndarray, tuple[int, ...], int, int] | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[3] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expected (N, H, W, {self.in_channels}), got {x.shape}"
+            )
+        patches, out_h, out_w = _im2col(x, self.kernel_size, self.stride)
+        self._cache = (patches, x.shape, out_h, out_w)
+        out = patches @ self.weight + self.bias
+        return out.reshape(x.shape[0], out_h, out_w, self.out_channels)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        patches, x_shape, out_h, out_w = self._cache
+        n, h, w, c = x_shape
+        grad_flat = grad_output.reshape(-1, self.out_channels)
+        self.grad_weight[:] = patches.T @ grad_flat
+        self.grad_bias[:] = grad_flat.sum(axis=0)
+        grad_patches = grad_flat @ self.weight.T
+        grad_patches = grad_patches.reshape(
+            n, out_h, out_w, self.kernel_size, self.kernel_size, c
+        )
+        grad_input = np.zeros(x_shape)
+        k, s = self.kernel_size, self.stride
+        for dy in range(k):
+            for dx in range(k):
+                grad_input[
+                    :, dy : dy + out_h * s : s, dx : dx + out_w * s : s, :
+                ] += grad_patches[:, :, :, dy, dx, :]
+        return grad_input
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling over ``pool x pool`` windows."""
+
+    def __init__(self, pool: int = 2) -> None:
+        if pool <= 0:
+            raise ValueError("pool must be positive")
+        self.pool = pool
+        self._cache: tuple[np.ndarray, tuple[int, ...]] | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        n, h, w, c = x.shape
+        p = self.pool
+        oh, ow = h // p, w // p
+        trimmed = x[:, : oh * p, : ow * p, :]
+        windows = trimmed.reshape(n, oh, p, ow, p, c)
+        out = windows.max(axis=(2, 4))
+        # Mask of argmax positions for the backward pass.
+        mask = windows == out[:, :, None, :, None, :]
+        self._cache = (mask, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        mask, x_shape = self._cache
+        n, h, w, c = x_shape
+        p = self.pool
+        oh, ow = h // p, w // p
+        # Ties split gradient equally to keep the pass exact.
+        counts = mask.sum(axis=(2, 4), keepdims=True)
+        spread = mask * (grad_output[:, :, None, :, None, :] / counts)
+        grad_input = np.zeros(x_shape)
+        grad_input[:, : oh * p, : ow * p, :] = spread.reshape(n, oh * p, ow * p, c)
+        return grad_input
+
+
+class Flatten(Layer):
+    """Flatten ``(N, ...)`` to ``(N, D)``."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout (Srivastava et al. 2014), active only in training."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        if not 0 <= rate < 1:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask

@@ -1,0 +1,45 @@
+"""Loss functions for the classifier substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SoftmaxCrossEntropy", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-shift numerical stabilisation."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Softmax + cross-entropy against integer class labels.
+
+    The gradient is computed with respect to the *logits* (the usual
+    ``p - onehot(y)`` form), so the network's last layer is linear.
+    """
+
+    def __init__(self) -> None:
+        self._probabilities: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError("logits must be (N, n_classes)")
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (logits.shape[0],):
+            raise ValueError("labels must be (N,) integer classes")
+        probabilities = softmax(logits)
+        self._probabilities = probabilities
+        self._labels = labels
+        picked = probabilities[np.arange(len(labels)), labels]
+        return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probabilities is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        grad = self._probabilities.copy()
+        grad[np.arange(len(self._labels)), self._labels] -= 1.0
+        return grad / len(self._labels)

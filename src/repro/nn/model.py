@@ -1,0 +1,119 @@
+"""Sequential model with a mini-batch training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import SoftmaxCrossEntropy, softmax
+
+__all__ = ["Sequential", "TrainHistory"]
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch training diagnostics."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+
+class Sequential:
+    """A straight stack of layers trained with softmax cross-entropy.
+
+    Parameters
+    ----------
+    layers:
+        The layers in forward order.
+    """
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("a model needs at least one layer")
+        self.layers = list(layers)
+        self.loss = SoftmaxCrossEntropy()
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads]
+
+    def predict_proba(self, x: np.ndarray, *, batch_size: int = 256) -> np.ndarray:
+        """Class probabilities, batched to bound memory."""
+        chunks = [
+            softmax(self.forward(x[i : i + batch_size], training=False))
+            for i in range(0, len(x), batch_size)
+        ]
+        return np.concatenate(chunks, axis=0)
+
+    def predict(self, x: np.ndarray, *, batch_size: int = 256) -> np.ndarray:
+        """Hard class predictions."""
+        return self.predict_proba(x, batch_size=batch_size).argmax(axis=1)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        optimizer,
+        *,
+        epochs: int = 5,
+        batch_size: int = 32,
+        rng: np.random.Generator | None = None,
+        verbose: bool = False,
+    ) -> TrainHistory:
+        """Train with shuffled mini-batches.
+
+        Parameters
+        ----------
+        x, y:
+            Inputs and integer class labels.
+        optimizer:
+            Object with ``step(params, grads)``.
+        rng:
+            Shuffling source; defaults to a fixed-seed generator so runs
+            are reproducible.
+        """
+        y = np.asarray(y, dtype=np.int64)
+        if len(x) != len(y):
+            raise ValueError("x and y must be aligned")
+        if len(x) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        rng = rng or np.random.default_rng(0)
+        history = TrainHistory()
+        for epoch in range(epochs):
+            order = rng.permutation(len(x))
+            epoch_loss = 0.0
+            n_correct = 0
+            for start in range(0, len(x), batch_size):
+                batch = order[start : start + batch_size]
+                logits = self.forward(x[batch], training=True)
+                loss_value = self.loss.forward(logits, y[batch])
+                self.backward(self.loss.backward())
+                optimizer.step(self.params, self.grads)
+                epoch_loss += loss_value * len(batch)
+                n_correct += int((logits.argmax(axis=1) == y[batch]).sum())
+            history.losses.append(epoch_loss / len(x))
+            history.accuracies.append(n_correct / len(x))
+            if verbose:
+                print(
+                    f"epoch {epoch + 1}/{epochs}: "
+                    f"loss={history.losses[-1]:.4f} "
+                    f"acc={history.accuracies[-1]:.3f}"
+                )
+        return history

@@ -1,0 +1,38 @@
+"""Shared low-level utilities: seeded RNG plumbing, bit operations, tables.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` builds on them.
+"""
+
+from repro.utils.bitops import (
+    flip_random_bits,
+    hamming_distance,
+    hamming_distance_matrix,
+    hamming_to_many,
+    pack_bits,
+    popcount,
+    unpack_bits,
+)
+from repro.utils.io import export_occurrences_csv, load_posts, save_posts
+from repro.utils.rng import RngStream, derive_rng
+from repro.utils.svgplot import LineChart, Series
+from repro.utils.tables import format_table, print_table
+
+__all__ = [
+    "RngStream",
+    "derive_rng",
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "hamming_distance",
+    "hamming_to_many",
+    "hamming_distance_matrix",
+    "format_table",
+    "print_table",
+    "flip_random_bits",
+    "save_posts",
+    "load_posts",
+    "export_occurrences_csv",
+    "LineChart",
+    "Series",
+]

@@ -1,0 +1,187 @@
+"""A minimal dependency-free SVG line-chart writer.
+
+No plotting library is available offline, but several of the paper's
+figures are line/CDF plots; this module renders multi-series charts as
+standalone SVG files so the reproduced figures can be viewed in any
+browser.  It intentionally supports only what the figures need: line
+series, axes with ticks, a legend, and a title.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["Series", "LineChart"]
+
+# A small colour-blind-safe cycle.
+_PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377")
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: x/y data and a legend label."""
+
+    x: np.ndarray
+    y: np.ndarray
+    label: str
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=np.float64)
+        y = np.asarray(self.y, dtype=np.float64)
+        if x.shape != y.shape or x.ndim != 1 or x.size < 2:
+            raise ValueError("series needs aligned 1-D x/y with >= 2 points")
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+
+@dataclass
+class LineChart:
+    """A multi-series line chart rendered to SVG.
+
+    >>> chart = LineChart(title="decay", x_label="d", y_label="r")
+    >>> chart.add(np.array([0.0, 1.0]), np.array([1.0, 0.5]), "tau=1")
+    >>> svg = chart.to_svg()
+    >>> svg.startswith("<svg") and "tau=1" in svg
+    True
+    """
+
+    title: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    width: int = 640
+    height: int = 400
+    series: list[Series] = field(default_factory=list)
+
+    _MARGIN_LEFT = 64
+    _MARGIN_RIGHT = 150
+    _MARGIN_TOP = 40
+    _MARGIN_BOTTOM = 48
+
+    def add(self, x: np.ndarray, y: np.ndarray, label: str) -> "LineChart":
+        """Append a series; returns self for chaining."""
+        self.series.append(Series(x=x, y=y, label=label))
+        return self
+
+    # ------------------------------------------------------------------
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = np.concatenate([s.x for s in self.series])
+        ys = np.concatenate([s.y for s in self.series])
+        x0, x1 = float(xs.min()), float(xs.max())
+        y0, y1 = float(ys.min()), float(ys.max())
+        if x1 == x0:
+            x1 = x0 + 1.0
+        if y1 == y0:
+            y1 = y0 + 1.0
+        pad = 0.04 * (y1 - y0)
+        return x0, x1, y0 - pad, y1 + pad
+
+    def _scale(self, bounds):
+        x0, x1, y0, y1 = bounds
+        plot_w = self.width - self._MARGIN_LEFT - self._MARGIN_RIGHT
+        plot_h = self.height - self._MARGIN_TOP - self._MARGIN_BOTTOM
+
+        def to_px(x: float, y: float) -> tuple[float, float]:
+            px = self._MARGIN_LEFT + (x - x0) / (x1 - x0) * plot_w
+            py = self.height - self._MARGIN_BOTTOM - (y - y0) / (y1 - y0) * plot_h
+            return px, py
+
+        return to_px
+
+    @staticmethod
+    def _ticks(lo: float, hi: float, n: int = 5) -> np.ndarray:
+        raw = np.linspace(lo, hi, n)
+        # Round to a friendly precision based on the span.
+        span = hi - lo
+        decimals = max(0, int(np.ceil(-np.log10(span / n))) + 1) if span > 0 else 0
+        return np.round(raw, decimals)
+
+    def to_svg(self) -> str:
+        """Render the chart as an SVG document string."""
+        if not self.series:
+            raise ValueError("add at least one series before rendering")
+        bounds = self._bounds()
+        to_px = self._scale(bounds)
+        x0, x1, y0, y1 = bounds
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+        ]
+        # Axes.
+        ax0, ay0 = to_px(x0, y0)
+        ax1, _ = to_px(x1, y0)
+        _, ay1 = to_px(x0, y1)
+        axis_style = 'stroke="#333" stroke-width="1"'
+        parts.append(f'<line x1="{ax0}" y1="{ay0}" x2="{ax1}" y2="{ay0}" {axis_style}/>')
+        parts.append(f'<line x1="{ax0}" y1="{ay0}" x2="{ax0}" y2="{ay1}" {axis_style}/>')
+        text = 'font-family="sans-serif" font-size="12" fill="#333"'
+        # Ticks.
+        for tick in self._ticks(x0, x1):
+            px, py = to_px(float(tick), y0)
+            parts.append(f'<line x1="{px}" y1="{py}" x2="{px}" y2="{py + 5}" {axis_style}/>')
+            parts.append(
+                f'<text x="{px}" y="{py + 18}" text-anchor="middle" {text}>{tick:g}</text>'
+            )
+        for tick in self._ticks(y0, y1):
+            px, py = to_px(x0, float(tick))
+            parts.append(f'<line x1="{px - 5}" y1="{py}" x2="{px}" y2="{py}" {axis_style}/>')
+            parts.append(
+                f'<text x="{px - 8}" y="{py + 4}" text-anchor="end" {text}>{tick:g}</text>'
+            )
+        # Series.
+        for index, series in enumerate(self.series):
+            colour = _PALETTE[index % len(_PALETTE)]
+            points = " ".join(
+                f"{px:.1f},{py:.1f}"
+                for px, py in (to_px(float(x), float(y)) for x, y in zip(series.x, series.y))
+            )
+            parts.append(
+                f'<polyline points="{points}" fill="none" stroke="{colour}" '
+                f'stroke-width="1.8"/>'
+            )
+            # Legend entry.
+            ly = self._MARGIN_TOP + 18 * index
+            lx = self.width - self._MARGIN_RIGHT + 12
+            parts.append(
+                f'<line x1="{lx}" y1="{ly}" x2="{lx + 18}" y2="{ly}" '
+                f'stroke="{colour}" stroke-width="3"/>'
+            )
+            parts.append(
+                f'<text x="{lx + 24}" y="{ly + 4}" {text}>{_escape(series.label)}</text>'
+            )
+        # Labels and title.
+        if self.title:
+            parts.append(
+                f'<text x="{self.width / 2}" y="20" text-anchor="middle" '
+                f'font-family="sans-serif" font-size="15" fill="#111">'
+                f"{_escape(self.title)}</text>"
+            )
+        if self.x_label:
+            parts.append(
+                f'<text x="{(ax0 + ax1) / 2}" y="{self.height - 10}" '
+                f'text-anchor="middle" {text}>{_escape(self.x_label)}</text>'
+            )
+        if self.y_label:
+            cx, cy = 16, (ay0 + ay1) / 2
+            parts.append(
+                f'<text x="{cx}" y="{cy}" text-anchor="middle" {text} '
+                f'transform="rotate(-90 {cx} {cy})">{_escape(self.y_label)}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the SVG to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(self.to_svg())
+        return path
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

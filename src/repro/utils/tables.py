@@ -1,0 +1,78 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The benchmark harness regenerates the paper's tables; this module renders
+them in aligned monospace so the rows can be compared side by side with the
+published ones.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def _cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Sequence[object]],
+    headers: Sequence[str] | None = None,
+    *,
+    title: str | None = None,
+    float_fmt: str = ".2f",
+) -> str:
+    """Render ``rows`` as an aligned monospace table.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of row sequences; cells may be any type, floats are
+        formatted with ``float_fmt``.
+    headers:
+        Optional column headers.
+    title:
+        Optional title line printed above the table.
+    float_fmt:
+        ``format()`` spec applied to float cells.
+    """
+    str_rows = [[_cell(v, float_fmt) for v in row] for row in rows]
+    all_rows = ([list(headers)] if headers else []) + str_rows
+    if not all_rows:
+        return title or ""
+    n_cols = max(len(r) for r in all_rows)
+    widths = [0] * n_cols
+    for row in all_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(row)]
+        return "  ".join(padded).rstrip()
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if headers:
+        lines.append(fmt_row(all_rows[0]))
+        lines.append("  ".join("-" * w for w in widths))
+        body = all_rows[1:]
+    else:
+        body = all_rows
+    lines.extend(fmt_row(row) for row in body)
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Iterable[Sequence[object]],
+    headers: Sequence[str] | None = None,
+    *,
+    title: str | None = None,
+    float_fmt: str = ".2f",
+) -> None:
+    """Print :func:`format_table` output followed by a blank line."""
+    print(format_table(rows, headers, title=title, float_fmt=float_fmt))
+    print()

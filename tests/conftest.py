@@ -1,0 +1,39 @@
+"""Shared fixtures: a small deterministic world and its pipeline run.
+
+World generation and the pipeline are the expensive pieces, so they are
+session-scoped; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.communities import SyntheticWorld, WorldConfig
+from repro.core import PipelineConfig, run_pipeline
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture(scope="session")
+def world_config() -> WorldConfig:
+    return WorldConfig(seed=1234, events_unit=75.0, noise_scale=0.8)
+
+
+@pytest.fixture(scope="session")
+def world(world_config) -> SyntheticWorld:
+    return SyntheticWorld.generate(world_config)
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(world):
+    return run_pipeline(world, PipelineConfig())
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)
+
+
+@pytest.fixture()
+def streams() -> RngStream:
+    return RngStream(99)

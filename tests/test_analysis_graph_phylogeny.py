@@ -1,0 +1,80 @@
+"""Tests for the cluster graph (Fig. 7) and dendrograms (Fig. 6)."""
+
+import numpy as np
+
+from repro.analysis.graph import build_cluster_graph, component_purity
+from repro.analysis.phylogeny import family_dendrogram
+
+FROG_ENTRIES = {
+    "pepe-the-frog",
+    "smug-frog",
+    "feels-bad-man-sad-frog",
+    "apu-apustaja",
+    "angry-pepe",
+    "cult-of-kek",
+}
+
+
+class TestClusterGraph:
+    def test_nodes_are_annotated_clusters(self, pipeline_result):
+        graph = build_cluster_graph(pipeline_result)
+        assert graph.number_of_nodes() == len(pipeline_result.cluster_keys)
+        node = next(iter(graph.nodes))
+        assert "label" in graph.nodes[node]
+        assert "community" in graph.nodes[node]
+
+    def test_edges_below_kappa(self, pipeline_result):
+        graph = build_cluster_graph(pipeline_result, kappa=0.45)
+        for _, _, data in graph.edges(data=True):
+            assert data["distance"] < 0.45
+
+    def test_smaller_kappa_fewer_edges(self, pipeline_result):
+        loose = build_cluster_graph(pipeline_result, kappa=0.6)
+        tight = build_cluster_graph(pipeline_result, kappa=0.3)
+        assert tight.number_of_edges() <= loose.number_of_edges()
+
+    def test_min_degree_filter(self, pipeline_result):
+        graph = build_cluster_graph(pipeline_result, min_degree=1)
+        assert all(degree >= 1 for _, degree in graph.degree())
+
+    def test_components_are_label_pure(self, pipeline_result):
+        """Fig. 7's central claim: connected components are dominated by
+        one meme."""
+        graph = build_cluster_graph(pipeline_result, kappa=0.45)
+        summary = component_purity(graph)
+        assert summary.n_components > 1
+        assert summary.weighted_component_purity > 0.8
+
+
+class TestFamilyDendrogram:
+    def test_frog_dendrogram_builds(self, pipeline_result):
+        tree = family_dendrogram(pipeline_result, FROG_ENTRIES)
+        assert tree is not None
+        assert tree.dendrogram.n_leaves == len(tree.keys)
+        assert tree.distances.shape == (
+            tree.dendrogram.n_leaves,
+            tree.dendrogram.n_leaves,
+        )
+
+    def test_labels_follow_paper_convention(self, pipeline_result):
+        tree = family_dendrogram(pipeline_result, FROG_ENTRIES)
+        for label in tree.dendrogram.labels:
+            glyph, name = label.split("@", 1)
+            assert glyph in {"4", "D", "G"}
+            assert name in FROG_ENTRIES
+
+    def test_cut_groups_same_meme_together(self, pipeline_result):
+        """The paper's Fig. 6 finding: the 0.45 cut mostly groups
+        clusters of the same meme."""
+        tree = family_dendrogram(pipeline_result, FROG_ENTRIES)
+        assert tree.cut_consistency(0.45) >= 0.7
+
+    def test_cut_extremes(self, pipeline_result):
+        tree = family_dendrogram(pipeline_result, FROG_ENTRIES)
+        singles = tree.cut(-1.0)
+        assert len(np.unique(singles)) == tree.dendrogram.n_leaves
+        merged = tree.cut(2.0)
+        assert len(np.unique(merged)) == 1
+
+    def test_none_when_too_few_clusters(self, pipeline_result):
+        assert family_dendrogram(pipeline_result, {"no-such-meme"}) is None

@@ -1,0 +1,61 @@
+"""Tests for cluster inspection (Appendix D machinery)."""
+
+import pytest
+
+from repro.analysis.inspection import (
+    format_cluster_report,
+    inspect_cluster,
+)
+
+
+@pytest.fixture(scope="module")
+def report(pipeline_result):
+    # Pick the annotated cluster with the most occurrences for a rich report.
+    from collections import Counter
+
+    counts = Counter(pipeline_result.occurrences.cluster_indices.tolist())
+    index, _ = counts.most_common(1)[0]
+    key = pipeline_result.cluster_keys[index]
+    return inspect_cluster(pipeline_result, key), key
+
+
+class TestInspectCluster:
+    def test_membership_counts(self, report, pipeline_result):
+        rep, key = report
+        clustering = pipeline_result.clusterings[key.community]
+        assert rep.n_unique_hashes >= 1
+        assert rep.n_images >= rep.n_unique_hashes
+
+    def test_medoid_hex_format(self, report):
+        rep, _ = report
+        assert len(rep.medoid_hex) == 16
+        int(rep.medoid_hex, 16)  # parses as hex
+
+    def test_matches_include_representative(self, report):
+        rep, _ = report
+        assert rep.representative in {name for name, _, _ in rep.matches}
+
+    def test_occurrence_counts_positive(self, report):
+        rep, _ = report
+        assert sum(rep.occurrences_by_community.values()) > 0
+        assert rep.key.community in rep.occurrences_by_community
+
+    def test_examples_bounded(self, report):
+        rep, _ = report
+        assert len(rep.example_image_ids) <= 10
+
+    def test_unknown_key_raises(self, pipeline_result):
+        from repro.core.results import ClusterKey
+
+        with pytest.raises(KeyError):
+            inspect_cluster(pipeline_result, ClusterKey("pol", 999999))
+
+
+class TestFormatReport:
+    def test_render_contains_sections(self, report):
+        rep, key = report
+        text = format_cluster_report(rep)
+        assert str(key) in text
+        assert "Annotation evidence" in text
+        assert "Occurrences" in text
+        assert rep.medoid_hex in text

@@ -1,0 +1,58 @@
+"""Tests for meme lifecycle analysis."""
+
+import pytest
+
+from repro.analysis.lifecycle import meme_lifecycles, spread_latency_summary
+from repro.communities.models import COMMUNITIES
+
+
+@pytest.fixture(scope="module")
+def lifecycles(pipeline_result):
+    return meme_lifecycles(pipeline_result, min_posts=5)
+
+
+class TestMemeLifecycles:
+    def test_non_empty(self, lifecycles):
+        assert lifecycles
+
+    def test_min_posts_respected(self, lifecycles, pipeline_result):
+        assert all(l.total_posts >= 5 for l in lifecycles.values())
+        with pytest.raises(ValueError):
+            meme_lifecycles(pipeline_result, min_posts=0)
+
+    def test_first_seen_communities_valid(self, lifecycles):
+        for lifecycle in lifecycles.values():
+            assert set(lifecycle.first_seen) <= set(COMMUNITIES)
+            assert lifecycle.n_communities >= 1
+
+    def test_origin_has_zero_latency(self, lifecycles):
+        for lifecycle in lifecycles.values():
+            latency = lifecycle.spread_latency
+            assert latency[lifecycle.origin_community] == 0.0
+            assert all(v >= 0 for v in latency.values())
+
+    def test_peak_within_span(self, lifecycles):
+        for lifecycle in lifecycles.values():
+            start = min(lifecycle.first_seen.values())
+            assert lifecycle.peak_day >= start - 1
+            assert lifecycle.peak_day <= start + lifecycle.active_span + 1
+
+    def test_popular_memes_reach_multiple_communities(self, lifecycles):
+        big = [l for l in lifecycles.values() if l.total_posts >= 50]
+        if not big:
+            pytest.skip("no sufficiently popular memes at this scale")
+        assert max(l.n_communities for l in big) >= 3
+
+
+class TestSpreadLatency:
+    def test_summary_values_non_negative(self, lifecycles):
+        summary = spread_latency_summary(lifecycles)
+        assert summary
+        assert all(v >= 0 for v in summary.values())
+
+    def test_fringe_seeds_lead_mainstream(self, lifecycles):
+        """Clusters are seeded from fringe communities, so fringe
+        first-seen latencies should not exceed the mainstream median."""
+        summary = spread_latency_summary(lifecycles)
+        if "pol" in summary and "twitter" in summary:
+            assert summary["pol"] <= summary["twitter"] + 1.0

@@ -1,0 +1,156 @@
+"""Tests for popularity tables, temporal series, scores and subreddits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.popularity import (
+    clusters_per_entry_counts,
+    entries_per_cluster_counts,
+    top_entries_by_clusters,
+    top_entries_by_posts,
+)
+from repro.analysis.scores import score_summary, scores_by_group
+from repro.analysis.subreddits import top_subreddits
+from repro.analysis.temporal import daily_meme_share
+
+
+class TestTopEntriesByClusters:
+    def test_table3_shape(self, world, pipeline_result):
+        rows = top_entries_by_clusters(
+            pipeline_result, world.kym_site, "pol", n=20
+        )
+        assert 0 < len(rows) <= 20
+        counts = [row.count for row in rows]
+        assert counts == sorted(counts, reverse=True)
+        assert all(0 < row.percent <= 100 for row in rows)
+
+    def test_markers(self, world, pipeline_result):
+        rows = top_entries_by_clusters(pipeline_result, world.kym_site, "pol")
+        merchant = [r for r in rows if r.entry == "happy-merchant"]
+        if merchant:
+            assert "(R)" in merchant[0].markers()
+
+
+class TestTopEntriesByPosts:
+    def test_table4_memes_only(self, world, pipeline_result):
+        rows = top_entries_by_posts(
+            pipeline_result, world.kym_site, "pol", n=20, category="memes"
+        )
+        assert rows
+        assert all(row.category == "memes" for row in rows)
+
+    def test_table5_people_only(self, world, pipeline_result):
+        rows = top_entries_by_posts(
+            pipeline_result, world.kym_site, "pol", n=15, category="people"
+        )
+        assert all(row.category == "people" for row in rows)
+
+    def test_trump_among_top_people_everywhere(self, world, pipeline_result):
+        # Paper: Donald Trump is the most-depicted person on every
+        # community; at test scale we assert top-3 membership (the
+        # benchmark world shows the full ranking).
+        for community in ("pol", "reddit"):
+            rows = top_entries_by_posts(
+                pipeline_result, world.kym_site, community, n=15,
+                category="people",
+            )
+            top3 = [row.entry for row in rows[:3]]
+            assert "donald-trump" in top3, (community, top3)
+
+    def test_fringe_racism_exceeds_mainstream(self, world, pipeline_result):
+        def racist_share(community):
+            rows = top_entries_by_posts(
+                pipeline_result, world.kym_site, community, n=1000, category=None
+            )
+            total = sum(row.count for row in rows) or 1
+            racist = sum(row.count for row in rows if row.is_racist)
+            return racist / total
+
+        assert racist_share("pol") > racist_share("twitter")
+
+
+class TestFig5Counts:
+    def test_entries_per_cluster_at_least_one(self, pipeline_result):
+        counts = entries_per_cluster_counts(pipeline_result, "pol")
+        assert counts.size > 0
+        assert counts.min() >= 1
+
+    def test_clusters_per_entry_positive(self, pipeline_result):
+        counts = clusters_per_entry_counts(pipeline_result, "pol")
+        assert counts.size > 0 and counts.min() >= 1
+
+    def test_some_entries_annotate_many_clusters(self, pipeline_result):
+        # Fig. 5(b)'s tail: popular memes (e.g. frogs) annotate several
+        # clusters each.
+        counts = clusters_per_entry_counts(pipeline_result, "pol")
+        assert counts.max() >= 2
+
+
+class TestTemporal:
+    def test_series_shapes(self, world, pipeline_result):
+        series = daily_meme_share(world, pipeline_result, group="all")
+        n_days = int(np.ceil(world.config.horizon_days))
+        assert series.days.shape == (n_days,)
+        for values in series.percent_by_community.values():
+            assert values.shape == (n_days,)
+            assert np.all(values >= 0)
+
+    def test_invalid_group(self, world, pipeline_result):
+        with pytest.raises(ValueError):
+            daily_meme_share(world, pipeline_result, group="sports")
+
+    def test_politics_peak_near_election(self, world, pipeline_result):
+        series = daily_meme_share(world, pipeline_result, group="politics")
+        config = world.config
+        for community in ("pol", "reddit"):
+            window = series.mean_share(
+                community,
+                config.election_day - config.election_width,
+                config.election_day + config.election_width,
+            )
+            baseline = series.mean_share(community, 200.0, 396.0)
+            assert window > baseline
+
+    def test_racist_share_fringe_dominates(self, world, pipeline_result):
+        series = daily_meme_share(world, pipeline_result, group="racist")
+        pol = series.percent_by_community["pol"].mean()
+        twitter = series.percent_by_community["twitter"].mean()
+        assert pol > twitter
+
+
+class TestScores:
+    def test_reddit_politics_scores_higher(self, pipeline_result):
+        split = scores_by_group(pipeline_result, "reddit", "politics")
+        assert split.in_group.size > 10 and split.out_group.size > 10
+        assert split.mean_ratio() > 1.0
+
+    def test_gab_racist_scores_lower(self, pipeline_result):
+        split = scores_by_group(pipeline_result, "gab", "racist")
+        if split.in_group.size >= 5 and split.out_group.size >= 5:
+            assert split.mean_ratio() < 1.0
+
+    def test_invalid_group(self, pipeline_result):
+        with pytest.raises(ValueError):
+            scores_by_group(pipeline_result, "reddit", "sports")
+
+    def test_summary(self):
+        summary = score_summary(np.array([1.0, 3.0, 5.0]))
+        assert summary["mean"] == 3.0 and summary["median"] == 3.0
+        empty = score_summary(np.array([]))
+        assert np.isnan(empty["mean"]) and empty["n"] == 0
+
+
+class TestSubreddits:
+    def test_the_donald_tops_all_lists(self, pipeline_result):
+        for group in ("all", "politics"):
+            rows = top_subreddits(pipeline_result, group=group, n=10)
+            assert rows
+            assert rows[0].subreddit == "The_Donald"
+
+    def test_percentages_over_all_reddit_memes(self, pipeline_result):
+        rows = top_subreddits(pipeline_result, group="racist", n=100)
+        assert sum(row.percent for row in rows) <= 100.0 + 1e-9
+
+    def test_invalid_group(self, pipeline_result):
+        with pytest.raises(ValueError):
+            top_subreddits(pipeline_result, group="sports")

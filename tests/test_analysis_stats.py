@@ -1,0 +1,100 @@
+"""Tests for statistical helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import cdf_at, ecdf, fleiss_kappa, ks_two_sample
+
+
+class TestEcdf:
+    def test_simple(self):
+        x, f = ecdf(np.array([3, 1, 2]))
+        assert list(x) == [1, 2, 3]
+        assert f[-1] == 1.0
+
+    def test_empty(self):
+        x, f = ecdf(np.array([]))
+        assert x.size == 0 and f.size == 0
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32), min_size=1, max_size=50))
+    def test_monotone_and_bounded(self, values):
+        x, f = ecdf(np.array(values))
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(f) >= 0)
+        assert 0 < f[0] <= 1 and f[-1] == 1.0
+
+    def test_cdf_at(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        assert cdf_at(values, np.array([2.5]))[0] == pytest.approx(0.5)
+        assert cdf_at(values, np.array([0.0]))[0] == 0.0
+        assert cdf_at(np.array([]), np.array([1.0]))[0] == 0.0
+
+
+class TestFleissKappa:
+    def test_perfect_agreement(self):
+        # 3 raters, all picking category 0 or all category 1.
+        ratings = np.array([[3, 0], [0, 3], [3, 0]])
+        assert fleiss_kappa(ratings) == pytest.approx(1.0)
+
+    def test_wikipedia_worked_example(self):
+        # The classic 14-rater example; kappa ~= 0.210.
+        ratings = np.array(
+            [
+                [0, 0, 0, 0, 14],
+                [0, 2, 6, 4, 2],
+                [0, 0, 3, 5, 6],
+                [0, 3, 9, 2, 0],
+                [2, 2, 8, 1, 1],
+                [7, 7, 0, 0, 0],
+                [3, 2, 6, 3, 0],
+                [2, 5, 3, 2, 2],
+                [6, 5, 2, 1, 0],
+                [0, 2, 2, 3, 7],
+            ]
+        )
+        assert fleiss_kappa(ratings) == pytest.approx(0.210, abs=0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fleiss_kappa(np.array([[1, 0], [3, 0]]))  # unequal raters
+        with pytest.raises(ValueError):
+            fleiss_kappa(np.array([[1, 0]]))  # single rater
+        with pytest.raises(ValueError):
+            fleiss_kappa(np.zeros((2,)))
+
+    def test_substantial_agreement_range(self):
+        # Mostly-agreeing raters land in the paper's "substantial" band.
+        rng = np.random.default_rng(0)
+        rows = []
+        for _ in range(100):
+            true = rng.integers(0, 3)
+            counts = [0, 0, 0]
+            for _ in range(3):
+                pick = true if rng.random() < 0.85 else rng.integers(0, 3)
+                counts[pick] += 1
+            rows.append(counts)
+        kappa = fleiss_kappa(np.array(rows))
+        assert 0.5 < kappa < 0.9
+
+
+class TestKS:
+    def test_identical_samples_high_p(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=300)
+        b = rng.normal(size=300)
+        _, p = ks_two_sample(a, b)
+        assert p > 0.01
+
+    def test_different_distributions_low_p(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, size=300)
+        b = rng.normal(2, 1, size=300)
+        statistic, p = ks_two_sample(a, b)
+        assert p < 0.001 and statistic > 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_two_sample(np.array([]), np.array([1.0]))

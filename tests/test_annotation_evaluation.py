@@ -1,0 +1,71 @@
+"""Tests for the Appendix B annotation-quality machinery."""
+
+import numpy as np
+import pytest
+
+from repro.annotation.evaluation import (
+    annotation_accuracy,
+    cluster_truth_labels,
+    simulate_annotator_study,
+)
+
+
+class TestClusterTruthLabels:
+    def test_labels_cover_annotated_clusters(self, world, pipeline_result):
+        labels = cluster_truth_labels(world, pipeline_result)
+        assert set(labels) == set(pipeline_result.cluster_keys)
+
+    def test_labels_are_catalog_entries_or_none(self, world, pipeline_result):
+        names = {entry.name for entry in world.catalog}
+        for label in cluster_truth_labels(world, pipeline_result).values():
+            assert label is None or label in names
+
+
+class TestAnnotationAccuracy:
+    def test_matches_paper_ballpark(self, world, pipeline_result):
+        """The paper reports 89% cluster annotation accuracy; the exact
+        ground-truth measurement on the synthetic world should be at
+        least in that region."""
+        accuracy = annotation_accuracy(world, pipeline_result)
+        assert accuracy >= 0.75
+
+    def test_bounded(self, world, pipeline_result):
+        accuracy = annotation_accuracy(world, pipeline_result)
+        assert 0.0 <= accuracy <= 1.0
+
+
+class TestAnnotatorStudy:
+    def test_appendix_b_protocol(self, world, pipeline_result):
+        rng = np.random.default_rng(7)
+        study = simulate_annotator_study(world, pipeline_result, rng)
+        assert study.n_annotators == 3
+        assert 0 < study.n_clusters <= 200
+        # Kappa is positive but can sit well below the paper's 0.67:
+        # the synthetic pipeline is *more* accurate than the real one,
+        # and Fleiss' kappa shrinks under skewed marginals (the kappa
+        # paradox) even when raters almost always agree.
+        assert 0.0 < study.fleiss_kappa <= 1.0
+        assert study.majority_accuracy >= 0.6
+
+    def test_perfect_annotators(self, world, pipeline_result):
+        rng = np.random.default_rng(8)
+        study = simulate_annotator_study(
+            world, pipeline_result, rng, error_rate=0.0
+        )
+        assert study.fleiss_kappa == pytest.approx(1.0)
+        # Majority accuracy with perfect annotators == true accuracy of
+        # the pipeline over the sampled clusters.
+        assert study.majority_accuracy >= 0.7
+
+    def test_needs_two_annotators(self, world, pipeline_result):
+        with pytest.raises(ValueError):
+            simulate_annotator_study(
+                world, pipeline_result, np.random.default_rng(0), n_annotators=1
+            )
+
+    def test_sampling_respects_limit(self, world, pipeline_result):
+        rng = np.random.default_rng(9)
+        study = simulate_annotator_study(
+            world, pipeline_result, rng, n_clusters=5
+        )
+        assert study.n_clusters <= 5

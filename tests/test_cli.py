@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["overview"])
+        assert args.seed == 42
+        assert args.events_unit == 60.0
+        assert args.command == "overview"
+
+    def test_custom_scale(self):
+        args = build_parser().parse_args(
+            ["--seed", "9", "--events-unit", "30", "influence"]
+        )
+        assert args.seed == 9 and args.events_unit == 30.0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dance"])
+
+
+class TestMain:
+    def test_overview_runs(self, capsys):
+        code = main(
+            ["--seed", "3", "--events-unit", "18", "--noise-scale", "0.5",
+             "overview"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "/pol/" in out
+
+    def test_top_runs(self, capsys):
+        code = main(
+            ["--seed", "3", "--events-unit", "18", "--noise-scale", "0.5", "top"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 4" in out
+        assert "Subreddit" in out
+
+    def test_clusters_runs(self, capsys):
+        code = main(
+            ["--seed", "3", "--events-unit", "18", "--noise-scale", "0.5",
+             "clusters"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Annotation evidence" in out

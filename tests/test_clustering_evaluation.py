@@ -1,0 +1,77 @@
+"""Tests for threshold sweeps and cluster-purity evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.evaluation import (
+    cluster_false_positive_fractions,
+    majority_purity,
+    sweep_thresholds,
+)
+
+
+def multiset(base: int, n_variants: int, copies: int) -> list[int]:
+    values = [base ^ (1 << i) for i in range(n_variants)]
+    return values * copies
+
+
+class TestSweepThresholds:
+    def test_rows_per_distance(self):
+        hashes = np.array(multiset(0, 4, 3), dtype=np.uint64)
+        rows = sweep_thresholds(hashes, distances=(0, 2, 8))
+        assert [row.distance for row in rows] == [0, 2, 8]
+
+    def test_noise_decreases_with_distance_on_structured_data(self):
+        rng = np.random.default_rng(0)
+        groups = []
+        for g in range(6):
+            base = int(rng.integers(0, 2**63))
+            groups += multiset(base, 5, 2)
+        singles = [int(v) for v in rng.integers(0, 2**63, size=40)]
+        hashes = np.array(groups + singles, dtype=np.uint64)
+        rows = sweep_thresholds(hashes, distances=(0, 2, 8))
+        noises = [row.noise_fraction for row in rows]
+        assert noises[0] >= noises[1] >= noises[2]
+
+    def test_image_level_noise_fraction(self):
+        # 6 copies of one hash cluster; 2 singleton hashes are noise.
+        hashes = np.array([7] * 6 + [2**30, 2**31], dtype=np.uint64)
+        rows = sweep_thresholds(hashes, distances=(0,))
+        assert rows[0].n_clusters == 1
+        assert rows[0].noise_fraction == pytest.approx(2 / 8)
+
+
+class TestFalsePositives:
+    def test_pure_clusters_zero_fraction(self):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        sources = ["a", "a", "a", "b", "b", "b"]
+        fractions = cluster_false_positive_fractions(labels, sources)
+        assert np.allclose(fractions, 0.0)
+
+    def test_mixed_cluster_fraction(self):
+        labels = np.array([0, 0, 0, 0])
+        sources = ["a", "a", "a", "b"]
+        fractions = cluster_false_positive_fractions(labels, sources)
+        assert fractions[0] == pytest.approx(0.25)
+
+    def test_min_cluster_size_skips_singletons(self):
+        labels = np.array([0, 1, 1])
+        sources = ["a", "b", "b"]
+        fractions = cluster_false_positive_fractions(labels, sources)
+        assert len(fractions) == 1
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            cluster_false_positive_fractions(np.array([0]), ["a", "b"])
+
+
+class TestMajorityPurity:
+    def test_all_pure(self):
+        assert majority_purity(np.array([0, 0, 1]), ["a", "a", "b"]) == 1.0
+
+    def test_mixed(self):
+        purity = majority_purity(np.array([0, 0, 0, 0]), ["a", "a", "a", "b"])
+        assert purity == pytest.approx(0.75)
+
+    def test_empty_is_one(self):
+        assert majority_purity(np.array([-1, -1]), ["a", "b"]) == 1.0

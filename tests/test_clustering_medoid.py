@@ -1,0 +1,75 @@
+"""Tests for medoid computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.dbscan import NOISE
+from repro.clustering.medoid import cluster_members, medoid_index, medoids_by_cluster
+from repro.utils.bitops import hamming_distance_matrix
+
+
+class TestMedoidIndex:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            medoid_index(np.empty(0, dtype=np.uint64))
+
+    def test_singleton(self):
+        assert medoid_index(np.array([9], dtype=np.uint64)) == 0
+
+    def test_central_element_wins(self):
+        # 0b000, 0b001, 0b011: the middle value minimises squared distance.
+        hashes = np.array([0b000, 0b001, 0b011], dtype=np.uint64)
+        assert medoid_index(hashes) == 1
+
+    def test_tie_breaks_to_lowest_index(self):
+        hashes = np.array([0, 1, 0, 1], dtype=np.uint64)
+        assert medoid_index(hashes) == 0
+
+    def test_counts_shift_medoid(self):
+        # Without weights 0b001 is central; weighting the 0b011 copies
+        # heavily pulls the medoid toward them.
+        hashes = np.array([0b000, 0b001, 0b011], dtype=np.uint64)
+        weighted = medoid_index(hashes, counts=np.array([1, 1, 50]))
+        assert weighted == 2
+
+    def test_counts_validation(self):
+        with pytest.raises(ValueError):
+            medoid_index(np.array([1, 2], dtype=np.uint64), counts=np.array([1]))
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=20))
+    def test_minimises_mean_squared_distance(self, values):
+        hashes = np.array(values, dtype=np.uint64)
+        chosen = medoid_index(hashes)
+        distances = hamming_distance_matrix(hashes).astype(float)
+        costs = (distances**2).mean(axis=1)
+        assert costs[chosen] == pytest.approx(costs.min())
+
+
+class TestClusterMembers:
+    def test_noise_excluded(self):
+        labels = np.array([0, 0, NOISE, 1])
+        members = cluster_members(labels)
+        assert set(members) == {0, 1}
+        assert list(members[0]) == [0, 1]
+        assert list(members[1]) == [3]
+
+
+class TestMedoidsByCluster:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            medoids_by_cluster(np.array([1], dtype=np.uint64), np.array([0, 0]))
+
+    def test_returns_global_indices(self):
+        hashes = np.array([0b000, 0b001, 0b011, 2**50], dtype=np.uint64)
+        labels = np.array([0, 0, 0, NOISE])
+        medoids = medoids_by_cluster(hashes, labels)
+        assert medoids == {0: 1}
+
+    def test_counts_forwarded(self):
+        hashes = np.array([0b000, 0b001, 0b011], dtype=np.uint64)
+        labels = np.array([0, 0, 0])
+        medoids = medoids_by_cluster(hashes, labels, counts=np.array([1, 1, 50]))
+        assert medoids == {0: 2}

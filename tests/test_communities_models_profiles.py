@@ -1,0 +1,136 @@
+"""Tests for community models, profiles, and the ground-truth weights."""
+
+import numpy as np
+import pytest
+
+from repro.annotation.catalog import DEFAULT_CATALOG
+from repro.communities.models import (
+    COMMUNITIES,
+    DISPLAY_NAMES,
+    FRINGE_COMMUNITIES,
+    Post,
+)
+from repro.communities.profiles import (
+    default_profiles,
+    entry_group,
+    ground_truth_weights,
+    weights_for_group,
+)
+
+
+class TestModels:
+    def test_community_lists_consistent(self):
+        assert set(FRINGE_COMMUNITIES) <= set(COMMUNITIES)
+        assert set(DISPLAY_NAMES) == set(COMMUNITIES)
+
+    def test_post_is_meme(self):
+        meme = Post("pol", 1.0, np.uint64(5), "x", template_name="pepe")
+        noise = Post("pol", 1.0, np.uint64(5), "x")
+        assert meme.is_meme and not noise.is_meme
+
+
+class TestEntryGroup:
+    def test_racism_dominates(self):
+        hitler = next(e for e in DEFAULT_CATALOG if e.name == "adolf-hitler")
+        assert hitler.is_politics and hitler.is_racist
+        assert entry_group(hitler) == "racist"
+
+    def test_politics_and_neutral(self):
+        maga = next(
+            e for e in DEFAULT_CATALOG if e.name == "make-america-great-again"
+        )
+        roll = next(e for e in DEFAULT_CATALOG if e.name == "roll-safe")
+        assert entry_group(maga) == "politics"
+        assert entry_group(roll) == "neutral"
+
+
+class TestProfiles:
+    def test_all_communities_covered(self):
+        profiles = default_profiles()
+        assert set(profiles) == set(COMMUNITIES)
+
+    def test_volume_ordering_matches_table7(self):
+        profiles = default_profiles()
+        volumes = {name: p.target_meme_events for name, p in profiles.items()}
+        assert (
+            volumes["pol"]
+            > volumes["twitter"]
+            > volumes["reddit"]
+            > volumes["the_donald"]
+            > volumes["gab"] * 0.99
+        )
+
+    def test_fringe_racist_affinity_higher_than_mainstream(self):
+        profiles = default_profiles()
+        assert (
+            profiles["pol"].group_affinity["racist"]
+            > profiles["gab"].group_affinity["racist"]
+            > profiles["twitter"].group_affinity["racist"]
+        )
+
+    def test_affinity_multiplies_family(self):
+        profiles = default_profiles()
+        frog = next(e for e in DEFAULT_CATALOG if e.name == "pepe-the-frog")
+        roll = next(e for e in DEFAULT_CATALOG if e.name == "roll-safe")
+        assert profiles["pol"].affinity(frog) > profiles["pol"].affinity(roll)
+
+    def test_score_models_only_on_voting_platforms(self):
+        profiles = default_profiles()
+        assert profiles["twitter"].score_model is None
+        assert profiles["pol"].score_model is None
+        assert profiles["reddit"].score_model is not None
+        assert profiles["gab"].score_model is not None
+
+    def test_reddit_score_shape(self):
+        scores = default_profiles()["reddit"].score_model
+        assert scores["politics"][0] > scores["neutral"][0] > scores["racist"][0]
+
+
+class TestGroundTruthWeights:
+    def test_square_and_subcritical(self):
+        w = ground_truth_weights()
+        assert w.shape == (5, 5)
+        assert np.max(np.abs(np.linalg.eigvals(w))) < 1.0
+
+    def test_the_donald_most_efficient_pol_least(self):
+        w = ground_truth_weights()
+        index = {name: k for k, name in enumerate(COMMUNITIES)}
+        external = w.copy()
+        np.fill_diagonal(external, 0.0)
+        out = external.sum(axis=1)
+        assert np.argmax(out) == index["the_donald"]
+        assert np.argmin(out) == index["pol"]
+
+    def test_reddit_strongest_external_source_for_twitter(self):
+        w = ground_truth_weights()
+        index = {name: k for k, name in enumerate(COMMUNITIES)}
+        twitter = index["twitter"]
+        external = {
+            src: w[index[src], twitter]
+            for src in COMMUNITIES
+            if src not in ("twitter", "the_donald")
+        }
+        assert max(external, key=external.get) == "reddit"
+
+    def test_group_specialisation(self):
+        base = ground_truth_weights()
+        racist = weights_for_group("racist")
+        politics = weights_for_group("politics")
+        neutral = weights_for_group("neutral")
+        index = {name: k for k, name in enumerate(COMMUNITIES)}
+        assert np.array_equal(neutral, base)
+        assert (
+            racist[index["pol"], index["reddit"]]
+            > base[index["pol"], index["reddit"]]
+        )
+        assert (
+            politics[index["the_donald"], index["reddit"]]
+            > base[index["the_donald"], index["reddit"]]
+        )
+        with pytest.raises(ValueError):
+            weights_for_group("sports")
+
+    def test_all_group_matrices_subcritical(self):
+        for group in ("racist", "politics", "neutral"):
+            w = weights_for_group(group)
+            assert np.max(np.abs(np.linalg.eigvals(w))) < 1.0

@@ -1,0 +1,166 @@
+"""Tests for the synthetic world generator (uses the session fixture)."""
+
+import numpy as np
+import pytest
+
+from repro.communities.models import COMMUNITIES
+from repro.communities.world import SyntheticWorld, WorldConfig
+
+
+class TestGeneration:
+    def test_posts_sorted_by_time(self, world):
+        times = [post.timestamp for post in world.posts]
+        assert times == sorted(times)
+
+    def test_timestamps_within_horizon(self, world):
+        for post in world.posts:
+            assert 0.0 <= post.timestamp <= world.config.horizon_days
+
+    def test_deterministic_given_seed(self, world_config):
+        again = SyntheticWorld.generate(world_config)
+        sample = [(p.community, p.timestamp, int(p.phash)) for p in again.posts[:50]]
+        reference = [
+            (p.community, p.timestamp, int(p.phash))
+            for p in SyntheticWorld.generate(world_config).posts[:50]
+        ]
+        assert sample == reference
+
+    def test_event_volume_ordering_matches_table7(self, world):
+        counts = {c: 0 for c in COMMUNITIES}
+        for post in world.posts:
+            if post.is_meme:
+                counts[post.community] += 1
+        assert counts["pol"] > counts["twitter"] > counts["reddit"]
+        assert counts["reddit"] > counts["the_donald"] > counts["gab"] * 0.7
+
+    def test_missing_profile_rejected(self, world_config):
+        from repro.communities.profiles import default_profiles
+
+        profiles = default_profiles()
+        del profiles["gab"]
+        with pytest.raises(ValueError):
+            SyntheticWorld.generate(world_config, profiles=profiles)
+
+
+class TestPostFields:
+    def test_scores_only_on_voting_platforms(self, world):
+        for post in world.posts:
+            if post.community in ("reddit", "gab", "the_donald"):
+                if post.is_meme:
+                    assert post.score is not None and post.score >= 1
+            else:
+                assert post.score is None
+
+    def test_subreddits(self, world):
+        for post in world.posts:
+            if post.community == "the_donald":
+                assert post.subreddit == "The_Donald"
+            elif post.community == "reddit" and post.is_meme:
+                assert post.subreddit is not None
+            elif post.community in ("pol", "twitter", "gab"):
+                assert post.subreddit is None
+
+    def test_meme_posts_have_roots(self, world):
+        for post in world.posts:
+            if post.is_meme:
+                assert post.root_community in COMMUNITIES
+            else:
+                assert post.root_community is None
+
+    def test_gab_starts_late(self, world):
+        gab_times = [p.timestamp for p in world.posts if p.community == "gab"]
+        assert min(gab_times) >= world.config.gab_start_day - 1e-9
+
+
+class TestAccessors:
+    def test_posts_of_merging(self, world):
+        reddit_only = world.posts_of("reddit")
+        merged = world.posts_of("reddit", merge_the_donald=True)
+        td = world.posts_of("the_donald")
+        assert len(merged) == len(reddit_only) + len(td)
+        with pytest.raises(ValueError):
+            world.posts_of("myspace")
+
+    def test_unique_hashes(self, world):
+        unique = world.unique_hashes_of("pol")
+        assert unique.size == len(set(unique.tolist()))
+
+    def test_community_stats_fold_the_donald(self, world):
+        stats = {s.community: s for s in world.community_stats()}
+        assert set(stats) == {"twitter", "reddit", "pol", "gab"}
+        reddit = stats["reddit"]
+        assert reddit.n_posts > reddit.n_posts_with_images
+        assert reddit.n_posts_with_images >= reddit.n_images >= reddit.n_unique_phashes
+
+    def test_ground_truth_sources(self, world):
+        sources = world.ground_truth_sources()
+        entry_names = {entry.name for entry in world.catalog}
+        assert set(sources.values()) <= entry_names
+
+    def test_catalog_entry_lookup(self, world):
+        assert world.catalog_entry("pepe-the-frog").family == "frog"
+
+
+class TestDynamics:
+    def test_politics_spike_around_election(self, world):
+        politics = [
+            p.timestamp
+            for p in world.posts
+            if p.is_meme
+            and world.catalog_entry(p.template_name).is_politics
+        ]
+        politics = np.array(politics)
+        config = world.config
+        window = (
+            (politics > config.election_day - config.election_width)
+            & (politics < config.election_day + config.election_width)
+        ).mean()
+        horizon_fraction = 2 * config.election_width / config.horizon_days
+        assert window > horizon_fraction * 1.3  # clearly above uniform
+
+    def test_racist_memes_concentrated_on_fringe(self, world):
+        fringe = 0
+        mainstream = 0
+        for post in world.posts:
+            if not post.is_meme:
+                continue
+            entry = world.catalog_entry(post.template_name)
+            if not entry.is_racist:
+                continue
+            if post.community in ("pol", "gab"):
+                fringe += 1
+            elif post.community in ("twitter",):
+                mainstream += 1
+        assert fringe > 5 * max(mainstream, 1)
+
+
+class TestKYMWildExamples:
+    def test_galleries_contain_posted_hashes(self, world):
+        """KYM galleries are augmented with images as posted in the wild
+        (the real site collects crawled examples)."""
+        posted = {}
+        for post in world.posts:
+            if post.template_name is not None:
+                posted.setdefault(post.template_name, set()).add(int(post.phash))
+        overlap = 0
+        active = 0
+        for entry in world.kym_site:
+            wild = posted.get(entry.name)
+            if not wild:
+                continue
+            active += 1
+            gallery = {int(g.phash) for g in entry.gallery}
+            if gallery & wild:
+                overlap += 1
+        assert active > 0
+        assert overlap / active > 0.9
+
+    def test_wild_examples_bounded(self, world):
+        for entry in world.kym_site:
+            wild = [
+                g
+                for g in entry.gallery
+                if g.template_name == entry.name and g.image is None
+            ]
+            # Renders plus at most kym_wild_examples appended hashes.
+            assert len(wild) <= world.config.kym.gallery_max + world.config.kym_wild_examples

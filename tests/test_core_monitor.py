@@ -1,0 +1,111 @@
+"""Tests for the real-time meme monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import MemeMonitor, MonitorVerdict
+from repro.core.results import (
+    ClusterKey,
+    OccurrenceTable,
+    PipelineResult,
+)
+
+
+def empty_occurrences():
+    return OccurrenceTable(
+        posts=[],
+        cluster_indices=np.empty(0, dtype=np.int64),
+        entry_names=[],
+        is_racist=np.empty(0, dtype=bool),
+        is_politics=np.empty(0, dtype=bool),
+    )
+
+
+class TestMonitorOnSessionWorld:
+    @pytest.fixture(scope="class")
+    def monitor(self, pipeline_result):
+        return MemeMonitor(pipeline_result)
+
+    def test_knows_all_annotated_clusters(self, monitor, pipeline_result):
+        assert len(monitor) == len(pipeline_result.cluster_keys)
+
+    def test_medoids_classify_to_their_own_cluster(self, monitor, pipeline_result):
+        for key in pipeline_result.cluster_keys[:20]:
+            medoid = pipeline_result.annotations[key].medoid_hash
+            verdict = monitor.classify_hash(medoid)
+            assert verdict.matched
+            assert verdict.distance == 0
+            assert verdict.cluster == key
+
+    def test_occurrence_posts_match(self, monitor, pipeline_result):
+        posts = pipeline_result.occurrences.posts[:100]
+        verdicts = monitor.classify_batch(
+            np.array([post.phash for post in posts], dtype=np.uint64)
+        )
+        assert all(v.matched for v in verdicts)
+
+    def test_racist_memes_are_flagged(self, monitor, world, pipeline_result):
+        merchant_posts = [
+            post
+            for post, name in zip(
+                pipeline_result.occurrences.posts,
+                pipeline_result.occurrences.entry_names,
+            )
+            if name == "happy-merchant"
+        ]
+        if not merchant_posts:
+            pytest.skip("no happy-merchant occurrences at this seed")
+        verdict = monitor.classify_hash(merchant_posts[0].phash)
+        assert verdict.matched and verdict.is_racist
+
+    def test_random_hash_unmatched(self, monitor):
+        verdict = monitor.classify_hash(np.uint64(0xA5A5A5A5A5A5A5A5))
+        # A random hash is overwhelmingly unlikely to be within 8 of a
+        # medoid; if this flakes the seed changed the world radically.
+        assert not verdict.matched
+        assert verdict.distance == -1
+
+    def test_classify_image_path(self, monitor, world):
+        entry = world.catalog[0]
+        image = world.library[entry.name].render(64)
+        verdict = monitor.classify_image(image)
+        assert isinstance(verdict, MonitorVerdict)
+
+    def test_flagged_entries(self, monitor):
+        flags = monitor.flagged_entries()
+        assert flags
+        assert all(
+            isinstance(racist, bool) and isinstance(politics, bool)
+            for racist, politics in flags.values()
+        )
+
+    def test_batch_memoisation_consistent(self, monitor, pipeline_result):
+        value = pipeline_result.annotations[
+            pipeline_result.cluster_keys[0]
+        ].medoid_hash
+        hashes = np.array([value] * 5, dtype=np.uint64)
+        verdicts = monitor.classify_batch(hashes)
+        assert all(v == verdicts[0] for v in verdicts)
+
+
+class TestEmptyMonitor:
+    def test_no_clusters_never_matches(self):
+        result = PipelineResult(
+            clusterings={},
+            annotations={},
+            cluster_keys=[],
+            occurrences=empty_occurrences(),
+        )
+        monitor = MemeMonitor(result)
+        assert len(monitor) == 0
+        assert not monitor.classify_hash(42).matched
+
+    def test_theta_validation(self):
+        result = PipelineResult(
+            clusterings={},
+            annotations={},
+            cluster_keys=[],
+            occurrences=empty_occurrences(),
+        )
+        with pytest.raises(ValueError):
+            MemeMonitor(result, theta=-1)

@@ -1,0 +1,100 @@
+"""Tests for BK-tree and multi-index hashing: exactness vs brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.index import BKTree, MultiIndexHash, _bytes_within
+from repro.utils.bitops import hamming_to_many
+
+hash_lists = st.lists(
+    st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=60
+)
+
+
+def brute_force(hashes: np.ndarray, query: int, radius: int) -> set[int]:
+    distances = hamming_to_many(np.uint64(query), hashes)
+    return set(np.flatnonzero(distances <= radius).tolist())
+
+
+class TestBytesWithin:
+    def test_radius_zero(self):
+        assert _bytes_within(0x5A, 0) == [0x5A]
+
+    def test_radius_one_size(self):
+        assert len(_bytes_within(0, 1)) == 9  # itself + 8 single-bit flips
+
+    def test_radius_two_size(self):
+        assert len(_bytes_within(0, 2)) == 1 + 8 + 28
+
+
+class TestBKTree:
+    def test_empty_tree(self):
+        assert BKTree().query(42, 8) == []
+        assert len(BKTree()) == 0
+
+    def test_duplicates_accumulate(self):
+        tree = BKTree([7, 7, 7])
+        results = tree.query(7, 0)
+        assert sorted(i for i, _ in results) == [0, 1, 2]
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            BKTree([1]).query(1, -1)
+
+    @settings(max_examples=40)
+    @given(hash_lists, st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=0, max_value=16))
+    def test_matches_brute_force(self, values, query, radius):
+        hashes = np.array(values, dtype=np.uint64)
+        tree = BKTree(values)
+        found = {i for i, _ in tree.query(query, radius)}
+        assert found == brute_force(hashes, query, radius)
+
+    def test_distances_reported_correctly(self):
+        tree = BKTree([0b1111, 0b0000])
+        results = dict(tree.query(0b0011, 64))
+        assert results[0] == 2 and results[1] == 2
+
+
+class TestMultiIndexHash:
+    def test_empty(self):
+        index = MultiIndexHash(np.empty(0, dtype=np.uint64))
+        assert index.query(5, 8) == []
+        assert len(index) == 0
+
+    def test_negative_radius(self):
+        index = MultiIndexHash(np.array([1], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            index.query(1, -1)
+
+    @settings(max_examples=40)
+    @given(hash_lists, st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=0, max_value=16))
+    def test_matches_brute_force(self, values, query, radius):
+        hashes = np.array(values, dtype=np.uint64)
+        index = MultiIndexHash(hashes)
+        found = {i for i, _ in index.query(query, radius)}
+        assert found == brute_force(hashes, query, radius)
+
+    def test_query_indices_sorted(self):
+        hashes = np.array([10, 8, 10, 11], dtype=np.uint64)
+        index = MultiIndexHash(hashes)
+        assert list(index.query_indices(10, 2)) == [0, 1, 2, 3]
+
+    def test_radius_neighbors_includes_self(self):
+        rng = np.random.default_rng(0)
+        hashes = rng.integers(0, 2**64, size=30, dtype=np.uint64)
+        neighbors = MultiIndexHash(hashes).radius_neighbors(8)
+        for i, row in enumerate(neighbors):
+            assert i in set(row.tolist())
+
+    def test_large_radius_pigeonhole_still_exact(self):
+        # radius 23 -> per-chunk distance 2: exercises deeper probing.
+        rng = np.random.default_rng(1)
+        hashes = rng.integers(0, 2**64, size=200, dtype=np.uint64)
+        index = MultiIndexHash(hashes)
+        query = int(hashes[0]) ^ 0b111  # distance 3 from hashes[0]
+        found = {i for i, _ in index.query(query, 23)}
+        assert found == brute_force(hashes, query, 23)

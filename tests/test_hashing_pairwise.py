@@ -1,0 +1,98 @@
+"""Tests for the pairwise engine and radius neighbourhoods."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.pairwise import (
+    pairwise_distances,
+    radius_neighbors,
+    unique_hashes,
+)
+from repro.utils.bitops import hamming_distance
+
+
+class TestPairwiseDistances:
+    def test_self_comparison(self):
+        hashes = np.array([1, 2, 3], dtype=np.uint64)
+        result = pairwise_distances(hashes)
+        assert result.distances.shape == (3, 3)
+        assert result.n_comparisons == 9
+        assert np.all(np.diag(result.distances) == 0)
+
+    def test_cross_comparison(self):
+        a = np.array([0], dtype=np.uint64)
+        b = np.array([0b111, 0], dtype=np.uint64)
+        result = pairwise_distances(a, b)
+        assert list(result.distances[0]) == [3, 0]
+        assert result.n_comparisons == 2
+
+
+class TestRadiusNeighbors:
+    def test_empty(self):
+        assert radius_neighbors(np.empty(0, dtype=np.uint64), 8) == []
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            radius_neighbors(np.array([1], dtype=np.uint64), -1)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            radius_neighbors(np.array([1], dtype=np.uint64), 8, method="gpu")
+
+    def test_self_always_included(self):
+        hashes = np.array([5, 1000, 2**60], dtype=np.uint64)
+        for method in ("brute", "mih"):
+            neighbors = radius_neighbors(hashes, 0, method=method)
+            for i, row in enumerate(neighbors):
+                assert list(row) == [i]
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=12),
+    )
+    def test_brute_and_mih_agree(self, values, radius):
+        hashes = np.array(values, dtype=np.uint64)
+        brute = radius_neighbors(hashes, radius, method="brute")
+        mih = radius_neighbors(hashes, radius, method="mih")
+        for row_b, row_m in zip(brute, mih):
+            assert set(row_b.tolist()) == set(row_m.tolist())
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        hashes = rng.integers(0, 2**64, size=60, dtype=np.uint64)
+        neighbors = radius_neighbors(hashes, 20, method="brute")
+        for i, row in enumerate(neighbors):
+            for j in row:
+                assert i in set(neighbors[int(j)].tolist())
+
+    def test_matches_scalar_definition(self):
+        rng = np.random.default_rng(1)
+        hashes = rng.integers(0, 2**64, size=25, dtype=np.uint64)
+        neighbors = radius_neighbors(hashes, 30, method="brute")
+        for i in range(len(hashes)):
+            expected = {
+                j
+                for j in range(len(hashes))
+                if hamming_distance(hashes[i], hashes[j]) <= 30
+            }
+            assert set(neighbors[i].tolist()) == expected
+
+    def test_auto_switches_to_mih(self):
+        rng = np.random.default_rng(2)
+        hashes = rng.integers(0, 2**64, size=50, dtype=np.uint64)
+        auto = radius_neighbors(hashes, 8, brute_force_limit=10)
+        brute = radius_neighbors(hashes, 8, method="brute")
+        for row_a, row_b in zip(auto, brute):
+            assert set(row_a.tolist()) == set(row_b.tolist())
+
+
+class TestUniqueHashes:
+    def test_dedup_and_counts(self):
+        hashes = np.array([5, 3, 5, 5, 3, 9], dtype=np.uint64)
+        unique, inverse, counts = unique_hashes(hashes)
+        assert list(unique) == [3, 5, 9]
+        assert list(counts) == [2, 3, 1]
+        assert np.array_equal(unique[inverse], hashes)

@@ -1,0 +1,89 @@
+"""Tests for the Gibbs sampler (the paper's inference method)."""
+
+import numpy as np
+import pytest
+
+from repro.hawkes import (
+    ExponentialKernel,
+    HawkesModel,
+    attribute_root_causes,
+    fit_hawkes_em,
+    gibbs_sample_hawkes,
+    simulate_branching,
+)
+from repro.hawkes.fit import FitConfig
+from repro.hawkes.model import EventSequence
+
+
+@pytest.fixture(scope="module")
+def simulated():
+    truth = HawkesModel(
+        np.array([0.5, 0.2]),
+        np.array([[0.3, 0.2], [0.05, 0.25]]),
+        ExponentialKernel(2.0),
+    )
+    rng = np.random.default_rng(31)
+    return truth, simulate_branching(truth, 250.0, rng)
+
+
+@pytest.fixture(scope="module")
+def chain(simulated):
+    _, simulation = simulated
+    rng = np.random.default_rng(32)
+    config = FitConfig(kernel=ExponentialKernel(2.0))
+    return gibbs_sample_hawkes(
+        simulation.sequence, 2, rng, config=config, n_samples=150, burn_in=50
+    )
+
+
+class TestGibbs:
+    def test_schedule_validation(self, simulated):
+        _, simulation = simulated
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            gibbs_sample_hawkes(simulation.sequence, 2, rng, n_samples=0)
+        with pytest.raises(ValueError):
+            gibbs_sample_hawkes(simulation.sequence, 2, rng, thin=0)
+
+    def test_sample_shapes(self, chain, simulated):
+        _, simulation = simulated
+        assert chain.background_samples.shape == (150, 2)
+        assert chain.weight_samples.shape == (150, 2, 2)
+        assert chain.root_distribution.shape == (len(simulation.sequence), 2)
+
+    def test_root_rows_sum_to_one(self, chain):
+        assert np.allclose(chain.root_distribution.sum(axis=1), 1.0)
+
+    def test_posterior_mean_near_truth(self, chain, simulated):
+        truth, _ = simulated
+        assert np.allclose(
+            chain.posterior_mean.background, truth.background, atol=0.2
+        )
+        assert np.allclose(chain.posterior_mean.weights, truth.weights, atol=0.2)
+
+    def test_agrees_with_em(self, chain, simulated):
+        """Gibbs posterior means and EM point estimates target the same
+        quantities; they must agree on this data."""
+        _, simulation = simulated
+        config = FitConfig(kernel=ExponentialKernel(2.0))
+        em = fit_hawkes_em([simulation.sequence], 2, config)
+        assert np.allclose(
+            chain.posterior_mean.background, em.model.background, atol=0.15
+        )
+        assert np.allclose(chain.posterior_mean.weights, em.model.weights, atol=0.1)
+        em_roots = attribute_root_causes(em.model, simulation.sequence)
+        assert np.abs(chain.root_distribution - em_roots).mean() < 0.05
+
+    def test_root_mass_tracks_ground_truth(self, chain, simulated):
+        _, simulation = simulated
+        mass = chain.root_distribution[
+            np.arange(len(simulation.sequence)), simulation.roots
+        ]
+        assert mass.mean() > 0.6
+
+    def test_empty_sequence(self):
+        empty = EventSequence(np.array([]), np.array([]), horizon=10.0)
+        rng = np.random.default_rng(1)
+        result = gibbs_sample_hawkes(empty, 2, rng, n_samples=10, burn_in=5)
+        assert result.root_distribution.shape == (0, 2)
+        assert np.all(result.posterior_mean.background < 0.5)

@@ -1,0 +1,98 @@
+"""Tests for drawing primitives."""
+
+import numpy as np
+import pytest
+
+from repro.images import draw
+from repro.images.raster import blank
+
+
+class TestGradient:
+    def test_horizontal_gradient_monotone(self):
+        image = draw.fill_gradient(blank(16), 0.0, 1.0, angle=0.0)
+        means = image.mean(axis=0)
+        assert np.all(np.diff(means) >= -1e-6)
+        assert means[0] < means[-1]
+
+    def test_vertical_gradient(self):
+        image = draw.fill_gradient(blank(16), 0.0, 1.0, angle=np.pi / 2)
+        means = image.mean(axis=1)
+        assert means[0] < means[-1]
+
+    def test_descending_gradient(self):
+        image = draw.fill_gradient(blank(16), 1.0, 0.0, angle=0.0)
+        means = image.mean(axis=0)
+        assert means[0] > means[-1]
+
+
+class TestCheckerboard:
+    def test_two_values_only(self):
+        image = draw.fill_checkerboard(blank(16), 4, 0.2, 0.8)
+        assert set(np.unique(image)) == {np.float32(0.2), np.float32(0.8)}
+
+    def test_adjacent_cells_differ(self):
+        image = draw.fill_checkerboard(blank(16), 4, 0.0, 1.0)
+        assert image[0, 0] != image[0, 4]
+
+    def test_invalid_cells(self):
+        with pytest.raises(ValueError):
+            draw.fill_checkerboard(blank(8), 0, 0, 1)
+
+
+class TestRect:
+    def test_fills_interior_only(self):
+        image = draw.draw_rect(blank(20), 0.25, 0.25, 0.5, 0.5, 1.0)
+        assert image[10, 10] == 1.0
+        assert image[1, 1] == 0.0
+
+    def test_alpha_blend(self):
+        image = draw.draw_rect(blank(20, fill=0.0), 0.0, 0.0, 1.0, 1.0, 1.0, alpha=0.5)
+        assert np.allclose(image, 0.5)
+
+
+class TestEllipse:
+    def test_centre_inside_corner_outside(self):
+        image = draw.draw_ellipse(blank(21), 0.5, 0.5, 0.3, 0.3, 1.0)
+        assert image[10, 10] == 1.0
+        assert image[0, 0] == 0.0
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            draw.draw_ellipse(blank(8), 0.5, 0.5, 0.0, 0.1, 1.0)
+
+
+class TestLine:
+    def test_diagonal_line_hits_endpoints(self):
+        image = draw.draw_line(blank(32), 0.1, 0.1, 0.9, 0.9, 1.0, thickness=0.05)
+        assert image[3, 3] == 1.0
+        assert image[28, 28] == 1.0
+        assert image[3, 28] == 0.0
+
+    def test_degenerate_line_is_dot(self):
+        image = draw.draw_line(blank(32), 0.5, 0.5, 0.5, 0.5, 1.0, thickness=0.1)
+        assert image[16, 16] == 1.0
+        assert image[0, 0] == 0.0
+
+
+class TestPolygon:
+    def test_triangle_interior(self):
+        vertices = np.array([[0.1, 0.1], [0.1, 0.9], [0.9, 0.5]])
+        image = draw.draw_polygon(blank(32), vertices, 1.0)
+        assert image[5, 16] == 1.0  # near the top edge centroid
+        assert image[30, 1] == 0.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            draw.draw_polygon(blank(8), np.array([[0, 0], [1, 1]]), 1.0)
+
+
+class TestTexture:
+    def test_changes_pixels_but_stays_bounded(self):
+        rng = np.random.default_rng(0)
+        image = draw.draw_texture(blank(32, fill=0.5), rng, scale=8, strength=0.2)
+        assert not np.allclose(image, 0.5)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            draw.draw_texture(blank(8), np.random.default_rng(0), scale=0)

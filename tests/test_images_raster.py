@@ -1,0 +1,101 @@
+"""Tests for the raster substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.images.raster import blank, clip01, resize, to_grayscale_array
+
+
+class TestBlank:
+    def test_default_square(self):
+        image = blank(32)
+        assert image.shape == (32, 32)
+        assert image.dtype == np.float32
+        assert np.all(image == 0.0)
+
+    def test_fill_and_rectangular(self):
+        image = blank(4, 8, fill=0.5)
+        assert image.shape == (4, 8)
+        assert np.all(image == np.float32(0.5))
+
+    @pytest.mark.parametrize("h,w", [(0, 4), (4, 0), (-1, 4)])
+    def test_invalid_dimensions(self, h, w):
+        with pytest.raises(ValueError):
+            blank(h, w)
+
+
+class TestClip01:
+    def test_clips_and_casts(self):
+        out = clip01(np.array([[-1.0, 0.5], [2.0, 1.0]]))
+        assert out.dtype == np.float32
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_always_in_range(self, value):
+        out = clip01(np.array([[value]]))
+        assert 0.0 <= out[0, 0] <= 1.0
+
+
+class TestToGrayscale:
+    def test_float_2d_passthrough(self):
+        image = np.full((4, 4), 0.25)
+        assert np.allclose(to_grayscale_array(image), 0.25)
+
+    def test_integer_input_scaled(self):
+        image = np.full((4, 4), 255, dtype=np.uint8)
+        assert np.allclose(to_grayscale_array(image), 1.0)
+
+    def test_rgb_averaged(self):
+        image = np.zeros((2, 2, 3))
+        image[..., 0] = 0.9
+        out = to_grayscale_array(image)
+        assert out.shape == (2, 2)
+        assert np.allclose(out, 0.3)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            to_grayscale_array(np.zeros(4))
+
+
+class TestResize:
+    def test_identity_when_same_size(self):
+        image = np.random.default_rng(0).random((16, 16))
+        out = resize(image, 16, 16)
+        assert np.allclose(out, image, atol=1e-6)
+
+    def test_constant_image_stays_constant(self):
+        out = resize(np.full((64, 64), 0.7), 32)
+        assert np.allclose(out, 0.7, atol=1e-6)
+
+    def test_downscale_exact_factor_is_block_mean(self):
+        image = np.zeros((4, 4))
+        image[:2, :2] = 1.0
+        out = resize(image, 2, 2)
+        assert out[0, 0] == pytest.approx(1.0)
+        assert out[1, 1] == pytest.approx(0.0)
+
+    def test_mean_preserved_on_downscale(self):
+        rng = np.random.default_rng(3)
+        image = rng.random((64, 64))
+        out = resize(image, 32, 32)
+        assert abs(float(out.mean()) - float(image.mean())) < 0.01
+
+    def test_upscale_shape(self):
+        out = resize(np.random.default_rng(1).random((8, 8)), 20, 12)
+        assert out.shape == (20, 12)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            resize(np.zeros((4, 4)), 0)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            resize(np.zeros((4, 4, 3)), 2)
+
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=1, max_value=40))
+    def test_arbitrary_targets_in_range(self, h, w):
+        out = resize(np.random.default_rng(7).random((17, 23)), h, w)
+        assert out.shape == (h, w)
+        assert out.min() >= 0.0 and out.max() <= 1.0

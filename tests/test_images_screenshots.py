@@ -1,0 +1,50 @@
+"""Tests for the synthetic screenshot renderer."""
+
+import numpy as np
+import pytest
+
+from repro.images.screenshots import PLATFORM_STYLES, render_screenshot
+from repro.utils.rng import derive_rng
+
+
+class TestRenderScreenshot:
+    def test_shape_and_range(self):
+        rng = derive_rng(1, "s")
+        image = render_screenshot(rng, size=48)
+        assert image.shape == (48, 48)
+        assert image.min() >= 0 and image.max() <= 1
+
+    @pytest.mark.parametrize("platform", sorted(PLATFORM_STYLES))
+    def test_all_platforms_render(self, platform):
+        rng = derive_rng(2, "s")
+        image = render_screenshot(rng, platform=platform)
+        assert image.shape == (64, 64)
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            render_screenshot(derive_rng(3, "s"), platform="myspace")
+
+    def test_screenshots_vary(self):
+        rng = derive_rng(4, "s")
+        a = render_screenshot(rng, platform="twitter")
+        b = render_screenshot(rng, platform="twitter")
+        assert not np.array_equal(a, b)
+
+    def test_has_header_band_structure(self):
+        # Light-mode screenshots: the header band's mean differs from the
+        # page body's mean (a strong horizontal structure signal).
+        rng = derive_rng(5, "s")
+        image = render_screenshot(rng, platform="4chan", size=64)
+        header = image[:7].mean()
+        body = image[20:40].mean()
+        assert abs(header - body) > 0.02
+
+    def test_row_structure_differs_from_organic(self):
+        # Screenshots have much higher row-to-row mean variance than a
+        # smooth gradient image — the classifier's core signal.
+        rng = derive_rng(6, "s")
+        shot = render_screenshot(rng, platform="twitter")
+        row_var_shot = np.var(shot.mean(axis=1))
+        gradient = np.tile(np.linspace(0, 1, 64), (64, 1)).astype(np.float32)
+        row_var_smooth = np.var(gradient.mean(axis=1))
+        assert row_var_shot > row_var_smooth

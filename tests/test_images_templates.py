@@ -1,0 +1,90 @@
+"""Tests for the procedural meme template library."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import phash
+from repro.images.templates import MemeTemplate, SceneOp, TemplateLibrary
+from repro.utils.bitops import hamming_distance
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture()
+def library():
+    return TemplateLibrary.build(
+        derive_rng(5, "templates"), {"frog": 4, "merchant": 3, "misc": 5}
+    )
+
+
+class TestSceneOp:
+    def test_unknown_kind_rejected(self):
+        from repro.images.raster import blank
+
+        with pytest.raises(ValueError):
+            SceneOp("nope", (1.0,)).apply(blank(8))
+
+
+class TestMemeTemplate:
+    def test_render_deterministic(self, library):
+        template = library.templates[0]
+        assert np.array_equal(template.render(32), template.render(32))
+
+    def test_render_sizes(self, library):
+        template = library.templates[0]
+        assert template.render(16).shape == (16, 16)
+        assert template.render(64).shape == (64, 64)
+
+    def test_resolution_invariance_of_phash(self, library):
+        # The same scene rendered at different resolutions should hash
+        # nearly identically (scene coordinates are fractional).
+        template = library.templates[0]
+        d = hamming_distance(phash(template.render(64)), phash(template.render(96)))
+        assert d <= 10
+
+
+class TestTemplateLibrary:
+    def test_counts_and_names(self, library):
+        assert len(library) == 12
+        assert library["frog-0"].family == "frog"
+        families = library.families()
+        assert sorted(families) == ["frog", "merchant", "misc"]
+        assert len(families["frog"]) == 4
+
+    def test_build_named(self):
+        lib = TemplateLibrary.build_named(
+            derive_rng(1, "t"), {"frog": ["pepe", "smug"]}
+        )
+        assert [t.name for t in lib] == ["pepe", "smug"]
+
+    def test_duplicate_names_rejected(self):
+        rng = derive_rng(2, "t")
+        with pytest.raises(ValueError):
+            TemplateLibrary.build_named(rng, {"a": ["x", "x"]})
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateLibrary.build(derive_rng(3, "t"), {"frog": 0})
+
+    def test_templates_are_visually_distinct(self, library):
+        hashes = [phash(t.render(64)) for t in library]
+        n_close = 0
+        for i in range(len(hashes)):
+            for j in range(i + 1, len(hashes)):
+                if hamming_distance(hashes[i], hashes[j]) <= 8:
+                    n_close += 1
+        # At most a rare accidental collision among 66 pairs.
+        assert n_close <= 2
+
+    def test_family_members_closer_than_strangers_on_average(self):
+        # Statistical: shared family base scenes pull pHashes together.
+        rng = derive_rng(11, "templates")
+        lib = TemplateLibrary.build(rng, {"a": 6, "b": 6, "c": 6})
+        hashes = {t.name: phash(t.render(64)) for t in lib}
+        intra, inter = [], []
+        names = list(hashes)
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                d = hamming_distance(hashes[names[i]], hashes[names[j]])
+                same = names[i].split("-")[0] == names[j].split("-")[0]
+                (intra if same else inter).append(d)
+        assert np.mean(intra) < np.mean(inter)

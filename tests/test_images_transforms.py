@@ -1,0 +1,126 @@
+"""Tests for variant transforms, incl. the pHash-stability calibration."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import phash
+from repro.images.raster import blank
+from repro.images.templates import TemplateLibrary
+from repro.images.transforms import (
+    VariantSpec,
+    add_caption_bar,
+    add_noise,
+    adjust_brightness,
+    adjust_contrast,
+    crop_and_resize,
+    mirror,
+    overlay_patch,
+    posterize,
+    random_variant,
+)
+from repro.utils.bitops import hamming_distance
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture()
+def base():
+    library = TemplateLibrary.build(derive_rng(3, "t"), {"x": 1})
+    return library.templates[0].render(64)
+
+
+class TestIndividualTransforms:
+    def test_noise_bounded_and_zero_sigma_identity(self, base, rng):
+        noisy = add_noise(base, rng, sigma=0.05)
+        assert noisy.min() >= 0 and noisy.max() <= 1
+        assert np.array_equal(add_noise(base, rng, sigma=0.0), base)
+        with pytest.raises(ValueError):
+            add_noise(base, rng, sigma=-1)
+
+    def test_brightness(self, base):
+        brighter = adjust_brightness(base, 0.2)
+        assert brighter.mean() >= base.mean()
+        assert np.array_equal(adjust_brightness(base, 0.0), base)
+
+    def test_contrast(self, base):
+        flat = adjust_contrast(base, 0.0)
+        assert np.std(flat) < np.std(base)
+        with pytest.raises(ValueError):
+            adjust_contrast(base, -0.5)
+
+    def test_crop_preserves_shape(self, base):
+        out = crop_and_resize(base, 0.1)
+        assert out.shape == base.shape
+        assert np.allclose(crop_and_resize(base, 0.0), base, atol=1e-6)
+        with pytest.raises(ValueError):
+            crop_and_resize(base, 0.5)
+
+    def test_caption_bar_paints_band(self, base, rng):
+        top = add_caption_bar(base, rng, position="top", height=0.2)
+        assert top[0].max() >= 0.99  # white bar at the top
+        bottom = add_caption_bar(base, rng, position="bottom", height=0.2)
+        assert bottom[-1].max() >= 0.99
+        with pytest.raises(ValueError):
+            add_caption_bar(base, rng, position="left")
+
+    def test_overlay_patch_changes_region(self, base, rng):
+        out = overlay_patch(base, rng, size=0.3)
+        assert not np.array_equal(out, base)
+        with pytest.raises(ValueError):
+            overlay_patch(base, rng, size=1.5)
+
+    def test_mirror_involution(self, base):
+        assert np.array_equal(mirror(mirror(base)), base)
+
+    def test_posterize_reduces_levels(self, base):
+        out = posterize(base, levels=4)
+        assert len(np.unique(out)) <= 4
+        with pytest.raises(ValueError):
+            posterize(base, levels=1)
+
+
+class TestRandomVariant:
+    def test_output_valid(self, base, rng):
+        out = random_variant(base, rng)
+        assert out.shape == base.shape
+        assert out.min() >= 0 and out.max() <= 1
+
+    def test_light_variants_usually_within_threshold(self, base):
+        """Calibration: most light variants stay within Hamming 12 of
+        the base — the property that makes DBSCAN clusters variant-pure."""
+        rng = derive_rng(17, "variants")
+        base_hash = phash(base)
+        distances = [
+            hamming_distance(base_hash, phash(random_variant(base, rng)))
+            for _ in range(40)
+        ]
+        close = sum(1 for d in distances if d <= 12)
+        assert close >= 30
+
+    def test_heavy_variants_spread_further(self, base):
+        rng = derive_rng(18, "variants")
+        base_hash = phash(base)
+        light = np.mean(
+            [
+                hamming_distance(base_hash, phash(random_variant(base, rng)))
+                for _ in range(25)
+            ]
+        )
+        heavy = np.mean(
+            [
+                hamming_distance(
+                    base_hash, phash(random_variant(base, rng, VariantSpec.heavy()))
+                )
+                for _ in range(25)
+            ]
+        )
+        assert heavy > light
+
+    def test_constant_image_tolerated(self, rng):
+        out = random_variant(blank(64, fill=0.5), rng)
+        assert out.shape == (64, 64)
+
+
+class TestVariantSpec:
+    def test_presets(self):
+        assert VariantSpec.heavy().noise_sigma > VariantSpec.light().noise_sigma
+        assert VariantSpec.heavy().mirror_probability > 0

@@ -1,0 +1,191 @@
+"""Tests for the neural-network layers, incl. numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU
+
+
+def numerical_gradient(f, x: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        original = x[index]
+        x[index] = original + epsilon
+        plus = f()
+        x[index] = original - epsilon
+        minus = f()
+        x[index] = original
+        grad[index] = (plus - minus) / (2 * epsilon)
+        it.iternext()
+    return grad
+
+
+def check_input_gradient(layer, x: np.ndarray, atol=1e-5) -> None:
+    """Backward's input gradient must match finite differences of a
+    scalar loss sum(weights * forward(x))."""
+    rng = np.random.default_rng(0)
+    out = layer.forward(x, training=False)
+    weights = rng.random(out.shape)
+
+    def loss() -> float:
+        return float((layer.forward(x, training=False) * weights).sum())
+
+    layer.forward(x, training=False)
+    analytic = layer.backward(weights)
+    numeric = numerical_gradient(loss, x)
+    assert np.allclose(analytic, numeric, atol=atol)
+
+
+def check_param_gradient(layer, x: np.ndarray, atol=1e-4) -> None:
+    rng = np.random.default_rng(1)
+    out = layer.forward(x, training=False)
+    weights = rng.random(out.shape)
+
+    def loss() -> float:
+        return float((layer.forward(x, training=False) * weights).sum())
+
+    layer.forward(x, training=False)
+    layer.backward(weights)
+    for param, grad in zip(layer.params, layer.grads):
+        numeric = numerical_gradient(loss, param)
+        assert np.allclose(grad, numeric, atol=atol)
+
+
+class TestDense:
+    def test_forward_shape_and_math(self, rng):
+        layer = Dense(3, 2, rng)
+        layer.weight[:] = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        layer.bias[:] = np.array([0.5, -0.5])
+        out = layer.forward(np.array([[1.0, 2.0, 3.0]]))
+        assert np.allclose(out, [[4.5, 4.5]])
+
+    def test_shape_validation(self, rng):
+        layer = Dense(3, 2, rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 4)))
+        with pytest.raises(ValueError):
+            Dense(0, 2, rng)
+
+    def test_backward_before_forward(self, rng):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2, rng).backward(np.zeros((1, 2)))
+
+    def test_gradients(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.random((5, 4))
+        check_input_gradient(layer, x)
+        check_param_gradient(layer, x)
+
+
+class TestReLU:
+    def test_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_gradient(self, rng):
+        layer = ReLU()
+        x = rng.random((4, 6)) - 0.5
+        x[np.abs(x) < 1e-3] = 0.1  # keep away from the kink
+        check_input_gradient(layer, x)
+
+
+class TestConv2D:
+    def test_output_shape(self, rng):
+        layer = Conv2D(2, 5, 3, rng)
+        out = layer.forward(rng.random((4, 10, 8, 2)))
+        assert out.shape == (4, 8, 6, 5)
+
+    def test_stride(self, rng):
+        layer = Conv2D(1, 2, 3, rng, stride=2)
+        out = layer.forward(rng.random((1, 9, 9, 1)))
+        assert out.shape == (1, 4, 4, 2)
+
+    def test_known_convolution(self, rng):
+        layer = Conv2D(1, 1, 2, rng)
+        layer.weight[:] = np.ones((4, 1))  # sum of each 2x2 window
+        layer.bias[:] = 0.0
+        x = np.arange(9, dtype=np.float64).reshape(1, 3, 3, 1)
+        out = layer.forward(x)
+        assert out[0, 0, 0, 0] == pytest.approx(0 + 1 + 3 + 4)
+        assert out[0, 1, 1, 0] == pytest.approx(4 + 5 + 7 + 8)
+
+    def test_channel_validation(self, rng):
+        layer = Conv2D(3, 2, 3, rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 8, 8, 1)))
+
+    def test_gradients(self, rng):
+        layer = Conv2D(2, 3, 3, rng)
+        x = rng.random((2, 6, 6, 2))
+        check_input_gradient(layer, x)
+        check_param_gradient(layer, x)
+
+    def test_strided_gradients(self, rng):
+        layer = Conv2D(1, 2, 3, rng, stride=2)
+        x = rng.random((2, 7, 7, 1))
+        check_input_gradient(layer, x)
+
+
+class TestMaxPool2D:
+    def test_forward(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        out = MaxPool2D(2).forward(x)
+        assert out.shape == (1, 2, 2, 1)
+        assert out[0, 0, 0, 0] == 5.0
+        assert out[0, 1, 1, 0] == 15.0
+
+    def test_gradient(self, rng):
+        layer = MaxPool2D(2)
+        x = rng.random((2, 6, 6, 3))
+        check_input_gradient(layer, x)
+
+    def test_gradient_with_trimmed_edge(self, rng):
+        layer = MaxPool2D(2)
+        x = rng.random((1, 5, 5, 1))  # odd size: last row/col trimmed
+        out = layer.forward(x)
+        assert out.shape == (1, 2, 2, 1)
+        check_input_gradient(layer, x)
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.random((3, 4, 5, 2))
+        out = layer.forward(x)
+        assert out.shape == (3, 40)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        layer = Dropout(0.5, rng)
+        x = rng.random((4, 4))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_training_scales_survivors(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((2000,)).reshape(1, -1)
+        out = layer.forward(x, training=True)
+        survivors = out[out > 0]
+        assert np.allclose(survivors, 2.0)  # inverted dropout scaling
+        assert 0.3 < (out > 0).mean() < 0.7
+
+    def test_expected_value_preserved(self, rng):
+        layer = Dropout(0.3, rng)
+        x = np.ones((1, 10000))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((1, 100))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        assert np.array_equal(grad > 0, out > 0)

@@ -1,0 +1,89 @@
+"""Tests for post serialisation and occurrence export."""
+
+import csv
+
+import numpy as np
+
+from repro.communities.models import Post
+from repro.utils.io import export_occurrences_csv, load_posts, save_posts
+
+
+def sample_posts():
+    return [
+        Post(
+            community="pol",
+            timestamp=1.5,
+            phash=np.uint64(0xDEADBEEF12345678),
+            image_id="pepe/g0/v1",
+            score=None,
+            subreddit=None,
+            template_name="pepe-the-frog",
+            root_community="pol",
+        ),
+        Post(
+            community="reddit",
+            timestamp=2.25,
+            phash=np.uint64(42),
+            image_id="noise/reddit/0",
+            score=17,
+            subreddit="AdviceAnimals",
+            template_name=None,
+            root_community=None,
+        ),
+        Post(
+            community="gab",
+            timestamp=3.0,
+            phash=np.uint64(2**64 - 1),
+            image_id="x",
+            score=0,
+            subreddit=None,
+            template_name=None,
+            root_community=None,
+        ),
+    ]
+
+
+class TestSaveLoadPosts:
+    def test_roundtrip(self, tmp_path):
+        posts = sample_posts()
+        path = tmp_path / "posts.npz"
+        save_posts(posts, path)
+        loaded = load_posts(path)
+        assert loaded == posts
+
+    def test_score_zero_vs_none_distinguished(self, tmp_path):
+        posts = sample_posts()
+        path = tmp_path / "posts.npz"
+        save_posts(posts, path)
+        loaded = load_posts(path)
+        assert loaded[0].score is None
+        assert loaded[2].score == 0
+
+    def test_extreme_hash_preserved(self, tmp_path):
+        path = tmp_path / "posts.npz"
+        save_posts(sample_posts(), path)
+        loaded = load_posts(path)
+        assert int(loaded[2].phash) == 2**64 - 1
+
+    def test_empty_list(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_posts([], path)
+        assert load_posts(path) == []
+
+    def test_world_roundtrip(self, world, tmp_path):
+        path = tmp_path / "world.npz"
+        save_posts(world.posts[:500], path)
+        loaded = load_posts(path)
+        assert loaded == world.posts[:500]
+
+
+class TestExportOccurrences:
+    def test_csv_structure(self, pipeline_result, tmp_path):
+        path = tmp_path / "occurrences.csv"
+        n = export_occurrences_csv(pipeline_result, path)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "community"
+        assert len(rows) == n + 1
+        # pHash column is 16 hex digits.
+        assert all(len(row[2]) == 16 for row in rows[1:10])

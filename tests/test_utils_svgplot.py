@@ -1,0 +1,67 @@
+"""Tests for the SVG chart writer."""
+
+import numpy as np
+import pytest
+
+from repro.utils.svgplot import LineChart, Series
+
+
+class TestSeries:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Series(np.array([1.0]), np.array([1.0]), "too short")
+        with pytest.raises(ValueError):
+            Series(np.array([1.0, 2.0]), np.array([1.0]), "misaligned")
+
+
+class TestLineChart:
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart().to_svg()
+
+    def test_basic_document(self):
+        chart = LineChart(title="t", x_label="x", y_label="y")
+        chart.add(np.array([0.0, 1.0, 2.0]), np.array([0.0, 1.0, 4.0]), "sq")
+        svg = chart.to_svg()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "polyline" in svg
+        assert "sq" in svg and ">t<" in svg
+
+    def test_multiple_series_get_distinct_colours(self):
+        chart = LineChart()
+        chart.add(np.array([0.0, 1.0]), np.array([0.0, 1.0]), "a")
+        chart.add(np.array([0.0, 1.0]), np.array([1.0, 0.0]), "b")
+        svg = chart.to_svg()
+        assert svg.count("polyline") == 2
+        assert "#4477aa" in svg and "#ee6677" in svg
+
+    def test_constant_series_tolerated(self):
+        chart = LineChart()
+        chart.add(np.array([0.0, 1.0]), np.array([0.5, 0.5]), "flat")
+        assert "polyline" in chart.to_svg()
+
+    def test_label_escaping(self):
+        chart = LineChart(title="a < b & c")
+        chart.add(np.array([0.0, 1.0]), np.array([0.0, 1.0]), "x<y")
+        svg = chart.to_svg()
+        assert "a &lt; b &amp; c" in svg
+        assert "x&lt;y" in svg
+
+    def test_points_within_viewbox(self):
+        chart = LineChart(width=640, height=400)
+        chart.add(np.linspace(0, 64, 65), np.exp(-np.linspace(0, 64, 65) / 25), "d")
+        svg = chart.to_svg()
+        for line in svg.splitlines():
+            if line.startswith("<polyline"):
+                coordinates = line.split('points="')[1].split('"')[0].split()
+                for pair in coordinates:
+                    px, py = map(float, pair.split(","))
+                    assert 0 <= px <= 640
+                    assert 0 <= py <= 400
+
+    def test_save(self, tmp_path):
+        chart = LineChart()
+        chart.add(np.array([0.0, 1.0]), np.array([0.0, 1.0]), "a")
+        path = chart.save(tmp_path / "chart.svg")
+        assert path.read_text().startswith("<svg")

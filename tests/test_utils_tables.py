@@ -1,0 +1,40 @@
+"""Tests for the table formatter."""
+
+from repro.utils.tables import format_table, print_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(
+            [["a", 1], ["bbbb", 22]], headers=["name", "count"]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        # All data rows align the second column at the same offset.
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_title_line(self):
+        text = format_table([[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_float_formatting(self):
+        text = format_table([[3.14159]], float_fmt=".1f")
+        assert "3.1" in text and "3.14" not in text
+
+    def test_empty_rows(self):
+        assert format_table([], title="empty") == "empty"
+        assert format_table([]) == ""
+
+    def test_no_headers(self):
+        text = format_table([["x", "y"]])
+        assert text == "x  y"
+
+    def test_ragged_rows_tolerated(self):
+        text = format_table([["a"], ["b", "c"]])
+        assert "b  c" in text
+
+    def test_print_table_smoke(self, capsys):
+        print_table([[1, 2]], headers=["a", "b"])
+        out = capsys.readouterr().out
+        assert "a" in out and out.endswith("\n\n")
