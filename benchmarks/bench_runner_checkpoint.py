@@ -1,0 +1,63 @@
+"""Fault-tolerance overhead — staged runner checkpoint/resume.
+
+The paper's production run took weeks; a restartable pipeline only pays
+for itself if (a) checkpointing adds negligible overhead to a clean run
+and (b) resuming is dramatically cheaper than recomputing.  This bench
+measures both on the benchmark-scale world.
+"""
+
+import time
+from pathlib import Path
+
+from benchmarks.conftest import once
+from repro.core import PipelineConfig, RunnerOptions, run_pipeline
+from repro.utils.tables import format_table
+
+
+def test_runner_checkpoint_resume_overhead(
+    benchmark, bench_world, write_output, tmp_path_factory
+):
+    checkpoint_dir = Path(tmp_path_factory.mktemp("runner-ckpt"))
+
+    start = time.perf_counter()
+    plain = run_pipeline(bench_world, PipelineConfig())
+    plain_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    checkpointed = run_pipeline(
+        bench_world,
+        PipelineConfig(),
+        options=RunnerOptions(checkpoint_dir=checkpoint_dir),
+    )
+    checkpointed_s = time.perf_counter() - start
+
+    resumed = once(
+        benchmark,
+        lambda: run_pipeline(
+            bench_world,
+            PipelineConfig(),
+            options=RunnerOptions(checkpoint_dir=checkpoint_dir, resume=True),
+        ),
+    )
+    resumed_s = benchmark.stats.stats.mean
+
+    assert resumed.cluster_keys == checkpointed.cluster_keys == plain.cluster_keys
+    assert all(report.resumed for report in resumed.stage_reports)
+    checkpoint_bytes = sum(
+        path.stat().st_size for path in checkpoint_dir.iterdir()
+    )
+    text = format_table(
+        [
+            ["plain run (s)", f"{plain_s:.2f}"],
+            ["checkpointed run (s)", f"{checkpointed_s:.2f}"],
+            ["resumed run (s)", f"{resumed_s:.2f}"],
+            ["checkpoint overhead", f"{checkpointed_s / plain_s - 1:+.1%}"],
+            ["resume speedup", f"{plain_s / max(resumed_s, 1e-9):.1f}x"],
+            ["checkpoint size (KiB)", f"{checkpoint_bytes / 1024:.0f}"],
+        ],
+        title="Staged runner: checkpoint overhead and resume speedup",
+    )
+    write_output("runner_checkpoint", text)
+
+    # Resuming must be at least several times faster than recomputing.
+    assert resumed_s < plain_s / 2

@@ -20,7 +20,7 @@ not do on crawled data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -82,12 +82,15 @@ class InfluenceStudy:
     """Fitted influence, overall and per analysis group.
 
     ``per_cluster`` holds each cluster's own matrices; the group
-    aggregates are sums over the member clusters.
+    aggregates are sums over the member clusters.  ``failures`` maps
+    clusters whose Hawkes fit raised to the error message — they are
+    excluded from every aggregate instead of sinking the study.
     """
 
     total: InfluenceMatrices
     per_cluster: dict[ClusterKey, InfluenceMatrices]
     groups: dict[str, InfluenceMatrices]
+    failures: dict[ClusterKey, str] = field(default_factory=dict)
 
     def group(self, name: str) -> InfluenceMatrices:
         return self.groups[name]
@@ -113,9 +116,17 @@ def influence_study(
         name: InfluenceMatrices.zeros(k)
         for name in ("racist", "non_racist", "politics", "non_politics")
     }
+    failures: dict[ClusterKey, str] = {}
     for key, sequence in sequences.items():
-        fit = fit_hawkes_em([sequence], k, fit_config)
-        roots = attribute_root_causes(fit.model, sequence)
+        # One pathological cluster (degenerate timestamps, singular EM
+        # update) must not sink the whole study: isolate its failure and
+        # report it, mirroring the staged runner's quarantine semantics.
+        try:
+            fit = fit_hawkes_em([sequence], k, fit_config)
+            roots = attribute_root_causes(fit.model, sequence)
+        except Exception as error:
+            failures[key] = f"{type(error).__name__}: {error}"
+            continue
         expected = np.zeros((k, k))
         for destination in range(k):
             mask = sequence.processes == destination
@@ -131,7 +142,9 @@ def influence_study(
         groups[
             "politics" if annotation.is_politics else "non_politics"
         ] += matrices
-    return InfluenceStudy(total=total, per_cluster=per_cluster, groups=groups)
+    return InfluenceStudy(
+        total=total, per_cluster=per_cluster, groups=groups, failures=failures
+    )
 
 
 def ground_truth_influence(world, *, group: str | None = None) -> InfluenceMatrices:

@@ -17,7 +17,13 @@ Commands
     Everything above in one run.
 
 All commands share ``--seed``, ``--events-unit`` and ``--noise-scale``
-controlling the synthetic world's scale.
+controlling the synthetic world's scale, plus the fault-tolerance flags
+``--checkpoint-dir`` (write per-stage checkpoints), ``--resume`` (reuse
+valid checkpoints instead of recomputing completed stages) and
+``--max-retries`` (transient-failure retries per stage item)::
+
+    python -m repro --checkpoint-dir ckpt report      # killed mid-run?
+    python -m repro --checkpoint-dir ckpt --resume report
 """
 
 from __future__ import annotations
@@ -40,7 +46,7 @@ from repro.communities import (
     SyntheticWorld,
     WorldConfig,
 )
-from repro.core import PipelineConfig, run_pipeline
+from repro.core import PipelineConfig, RunnerOptions, RunnerPolicy, run_pipeline
 from repro.utils.tables import print_table
 
 __all__ = ["main", "build_parser"]
@@ -65,6 +71,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--noise-scale", type=float, default=1.0, help="noise volume multiplier"
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for per-stage checkpoints (enables checkpointing)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume completed stages from --checkpoint-dir instead of "
+        "recomputing them (corrupt/stale checkpoints are recomputed)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per stage item on transient failures",
+    )
+    parser.add_argument(
         "command",
         choices=("overview", "top", "influence", "clusters", "report"),
         help="what to print",
@@ -82,7 +105,17 @@ def _world_and_pipeline(args):
           f"events_unit={config.events_unit})...")
     world = SyntheticWorld.generate(config)
     print(f"  {len(world.posts):,} posts. Running the pipeline...\n")
-    return world, run_pipeline(world, PipelineConfig())
+    options = RunnerOptions(
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        policy=RunnerPolicy(max_retries=args.max_retries),
+    )
+    result = run_pipeline(world, PipelineConfig(), options=options)
+    if args.checkpoint_dir or result.degraded:
+        for report in result.stage_reports:
+            print(f"  [{report.summary()}]")
+        print()
+    return world, result
 
 
 def _print_overview(world, result) -> None:
@@ -185,7 +218,12 @@ def _print_clusters(result, n: int = 3) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
     np.set_printoptions(precision=2, suppress=True)
     world, result = _world_and_pipeline(args)
     if args.command in ("overview", "report"):

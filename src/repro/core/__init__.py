@@ -6,9 +6,15 @@
 * :mod:`repro.core.results` — typed results of each pipeline stage.
 * :mod:`repro.core.pipeline` — the Step 1-7 orchestration over a data
   source (the synthetic world, or any object with the same interface).
+* :mod:`repro.core.runner` — the staged, fault-tolerant execution engine
+  behind :func:`~repro.core.pipeline.run_pipeline` (checkpoint/resume,
+  retry with backoff, degradation ladder, quarantine).
+* :mod:`repro.core.faults` — deterministic fault injection for testing
+  the runner's failure handling.
 """
 
-from repro.core.config import MetricWeights, PipelineConfig
+from repro.core.config import MetricWeights, PipelineConfig, RunnerPolicy
+from repro.core.faults import Fault, FaultInjector, corrupt_file
 from repro.core.metric import (
     ClusterFeatures,
     cluster_distance,
@@ -23,11 +29,21 @@ from repro.core.results import (
     CommunityClustering,
     OccurrenceTable,
     PipelineResult,
+    StageReport,
 )
+from repro.core.runner import PipelineRunner, RunnerOptions, StageFailure
 
 __all__ = [
     "PipelineConfig",
     "MetricWeights",
+    "RunnerPolicy",
+    "PipelineRunner",
+    "RunnerOptions",
+    "StageFailure",
+    "StageReport",
+    "Fault",
+    "FaultInjector",
+    "corrupt_file",
     "ClusterFeatures",
     "cluster_distance",
     "pairwise_cluster_distances",

@@ -4,7 +4,46 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["MetricWeights", "PipelineConfig"]
+__all__ = ["MetricWeights", "PipelineConfig", "RunnerPolicy"]
+
+
+@dataclass(frozen=True)
+class RunnerPolicy:
+    """Fault-handling knobs of the staged runner (:mod:`repro.core.runner`).
+
+    Attributes
+    ----------
+    max_retries:
+        Retries per stage item on *transient* failures (exponential
+        backoff); 0 disables retrying.
+    retry_base_delay:
+        Backoff before the first retry, in seconds.
+    retry_backoff:
+        Backoff multiplier between consecutive retries.
+    allow_degraded:
+        Whether the screenshot filter may walk its degradation ladder
+        (``classifier`` → ``oracle`` → ``none``) on permanent failure
+        instead of aborting the run.
+    quarantine_failures:
+        Whether a permanently-failing community (clustering or
+        annotation) is quarantined — recorded in the stage report,
+        excluded from results — while the other communities proceed.
+        When ``False`` the failure aborts the stage.
+    """
+
+    max_retries: int = 2
+    retry_base_delay: float = 0.05
+    retry_backoff: float = 2.0
+    allow_degraded: bool = True
+    quarantine_failures: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_base_delay < 0:
+            raise ValueError("retry_base_delay must be non-negative")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -82,3 +121,13 @@ class PipelineConfig:
             raise ValueError(
                 f"unknown screenshot_filter {self.screenshot_filter!r}"
             )
+
+    def screenshot_ladder(self) -> tuple[str, ...]:
+        """The Step 4 degradation ladder starting at the configured mode.
+
+        ``classifier`` degrades to ``oracle`` then ``none``; ``oracle``
+        degrades to ``none``; ``none`` has nowhere to fall.  The runner
+        walks this ladder when a rung fails permanently.
+        """
+        ladder = ("classifier", "oracle", "none")
+        return ladder[ladder.index(self.screenshot_filter) :]

@@ -1,0 +1,144 @@
+"""Deterministic fault injection at stage boundaries.
+
+Testing a fault-tolerant runner needs *reproducible* failures: "the
+screenshot classifier dies on its first two attempts", "community
+``pol``'s clustering raises once", "the checkpoint written after
+clustering is corrupted on disk".  :class:`FaultInjector` scripts those
+events by *site name* — the runner calls :meth:`FaultInjector.fire` at
+every stage boundary (and per-item boundary) it crosses, and armed
+faults trigger a fixed number of times, then disarm.
+
+Site naming convention (what the runner fires):
+
+* ``"cluster"`` / ``"annotate"`` / ``"associate"`` /
+  ``"screenshot-filter"`` — whole-stage boundaries;
+* ``"cluster:pol"`` — one community's clustering (likewise
+  ``"annotate:<community>"``);
+* ``"screenshot-filter:classifier"`` — one rung of the degradation
+  ladder (likewise ``:oracle`` / ``:none``);
+* ``"checkpoint:<stage>"`` — fired just *after* the stage's checkpoint
+  is written; a ``corrupt`` fault overwrites bytes in the file to
+  simulate disk corruption.
+
+Faults are exceptions by default; raise :class:`repro.utils.retry.
+TransientError` (the default) to exercise the retry path, or any other
+exception type to exercise degradation/quarantine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.utils.retry import TransientError
+
+__all__ = ["Fault", "FaultInjector", "corrupt_file"]
+
+
+def corrupt_file(path: str | Path, *, mode: str = "flip") -> None:
+    """Deterministically damage a file on disk.
+
+    ``mode="flip"`` inverts a byte in the middle of the file (digest
+    breaks, length intact); ``mode="truncate"`` cuts the file in half.
+    """
+    path = Path(path)
+    blob = bytearray(path.read_bytes())
+    if not blob:
+        return
+    if mode == "flip":
+        middle = len(blob) // 2
+        blob[middle] ^= 0xFF
+        path.write_bytes(bytes(blob))
+    elif mode == "truncate":
+        path.write_bytes(bytes(blob[: len(blob) // 2]))
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+@dataclass
+class Fault:
+    """One scripted failure at a named site.
+
+    Attributes
+    ----------
+    site:
+        The boundary name this fault arms (see module docstring).
+    error:
+        Exception *instance or type* raised when the fault fires.
+        Ignored for ``action="corrupt"``.
+    times:
+        How many firings before the fault disarms (default 1).
+    action:
+        ``"raise"`` throws ``error``; ``"corrupt"`` damages the file
+        path the runner passes along (checkpoint sites only).
+    corrupt_mode:
+        Passed to :func:`corrupt_file` for ``action="corrupt"``.
+    """
+
+    site: str
+    error: BaseException | type[BaseException] = TransientError
+    times: int = 1
+    action: str = "raise"
+    corrupt_mode: str = "flip"
+    fired: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if self.action not in ("raise", "corrupt"):
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+    @property
+    def armed(self) -> bool:
+        return self.fired < self.times
+
+    def make_error(self) -> BaseException:
+        if isinstance(self.error, BaseException):
+            return self.error
+        return self.error(f"injected fault at {self.site!r}")
+
+
+class FaultInjector:
+    """A scripted set of faults the runner consults at every boundary.
+
+    Examples
+    --------
+    >>> from repro.utils.retry import TransientError
+    >>> injector = FaultInjector([Fault("cluster:pol", TransientError, times=2)])
+    >>> injector.fire("cluster:gab")  # unarmed site: no-op
+    >>> try:
+    ...     injector.fire("cluster:pol")
+    ... except TransientError:
+    ...     pass
+    """
+
+    def __init__(self, faults: list[Fault] | None = None) -> None:
+        self.faults = list(faults or [])
+        self.log: list[str] = []
+
+    def add(self, fault: Fault) -> "FaultInjector":
+        self.faults.append(fault)
+        return self
+
+    def fire(self, site: str, *, path: str | Path | None = None) -> None:
+        """Trigger any armed fault at ``site``.
+
+        ``path`` carries the checkpoint file for ``corrupt`` faults.
+        """
+        for fault in self.faults:
+            if fault.site != site or not fault.armed:
+                continue
+            fault.fired += 1
+            self.log.append(site)
+            if fault.action == "corrupt":
+                if path is None:
+                    raise ValueError(
+                        f"corrupt fault at {site!r} fired without a file path"
+                    )
+                corrupt_file(path, mode=fault.corrupt_mode)
+                return
+            raise fault.make_error()
+
+    def fired_sites(self) -> list[str]:
+        """Every site that fired, in order (for test assertions)."""
+        return list(self.log)

@@ -98,7 +98,28 @@ class MemeMonitor:
         return len(self._keys)
 
     def classify_hash(self, value: np.uint64 | int) -> MonitorVerdict:
-        """Classify a pre-computed pHash."""
+        """Classify a pre-computed pHash.
+
+        Raises
+        ------
+        TypeError
+            If ``value`` is not an integer-like scalar.
+        ValueError
+            If ``value`` lies outside the unsigned 64-bit range — a
+            pHash is exactly 64 bits, so anything else is caller error
+            (e.g. a sign-flipped or double-packed hash), not an unmatched
+            image.
+        """
+        try:
+            value = int(value)
+        except (TypeError, ValueError):
+            raise TypeError(
+                f"pHash must be an integer-like scalar, got {type(value).__name__}"
+            )
+        if not 0 <= value < 2**64:
+            raise ValueError(
+                f"pHash {value} outside the unsigned 64-bit range [0, 2**64)"
+            )
         if self._index is None:
             return MonitorVerdict.no_match()
         pairs = self._index.query(int(value), self.theta)
@@ -116,8 +137,26 @@ class MemeMonitor:
         )
 
     def classify_image(self, image: np.ndarray) -> MonitorVerdict:
-        """Hash a raster and classify it."""
-        return self.classify_hash(phash(image))
+        """Hash a raster and classify it.
+
+        Raises
+        ------
+        ValueError
+            If ``image`` is empty or not a 2-D grayscale / 3-D
+            ``(H, W, C)`` raster — caught here with a clear message
+            rather than failing deep inside the pHash DCT.
+        """
+        raster = np.asarray(image)
+        if raster.ndim not in (2, 3):
+            raise ValueError(
+                "classify_image expects a 2-D grayscale or 3-D (H, W, C) "
+                f"raster, got ndim={raster.ndim}"
+            )
+        if raster.size == 0 or min(raster.shape[:2]) == 0:
+            raise ValueError(
+                f"classify_image got an empty raster of shape {raster.shape}"
+            )
+        return self.classify_hash(phash(raster))
 
     def classify_batch(self, hashes: np.ndarray) -> list[MonitorVerdict]:
         """Classify many pHashes (memoised over duplicates)."""

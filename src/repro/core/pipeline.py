@@ -19,19 +19,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.annotation.kym import KYMSite
-from repro.annotation.association import associate_hashes
-from repro.annotation.matcher import annotate_clusters
 from repro.annotation.screenshots import ScreenshotClassifier, build_screenshot_dataset
 from repro.clustering.dbscan import dbscan
 from repro.clustering.medoid import medoids_by_cluster
-from repro.communities.models import FRINGE_COMMUNITIES, Post
+from repro.communities.models import Post
 from repro.core.config import PipelineConfig
-from repro.core.results import (
-    ClusterKey,
-    CommunityClustering,
-    OccurrenceTable,
-    PipelineResult,
-)
+from repro.core.results import CommunityClustering, PipelineResult
 from repro.utils.rng import derive_rng
 
 __all__ = ["run_pipeline", "cluster_community", "filter_kym_screenshots"]
@@ -125,8 +118,18 @@ def filter_kym_screenshots(
     return True, report
 
 
-def run_pipeline(world, config: PipelineConfig | None = None) -> PipelineResult:
+def run_pipeline(
+    world,
+    config: PipelineConfig | None = None,
+    *,
+    options=None,
+) -> PipelineResult:
     """Run Steps 2-6 over a generated world.
+
+    Since the staged-runner refactor this is a thin compatibility
+    wrapper over :class:`repro.core.runner.PipelineRunner`; pass
+    ``options`` (a :class:`repro.core.runner.RunnerOptions`) to turn on
+    checkpointing, resume, retries, or fault injection.
 
     Parameters
     ----------
@@ -136,68 +139,10 @@ def run_pipeline(world, config: PipelineConfig | None = None) -> PipelineResult:
         ``catalog_entry``).
     config:
         Pipeline constants; defaults to the paper's values.
+    options:
+        Runner execution options; defaults to run-everything-in-process
+        with no checkpoints (the historical behaviour).
     """
-    config = config or PipelineConfig()
+    from repro.core.runner import PipelineRunner
 
-    # Steps 2-3: cluster each fringe community.
-    clusterings = {
-        community: cluster_community(community, world.posts, config)
-        for community in FRINGE_COMMUNITIES
-    }
-
-    # Step 4: screenshot handling for the annotation site.
-    exclude_screenshots, screenshot_report = filter_kym_screenshots(
-        world.kym_site, config, library=getattr(world, "library", None)
-    )
-
-    # Step 5: annotate each community's clusters against KYM.
-    annotations: dict[ClusterKey, object] = {}
-    cluster_keys: list[ClusterKey] = []
-    for community, clustering in clusterings.items():
-        community_annotations = annotate_clusters(
-            clustering.medoids,
-            world.kym_site,
-            theta=config.theta,
-            exclude_screenshots=exclude_screenshots,
-        )
-        for cluster_id, annotation in sorted(community_annotations.items()):
-            key = ClusterKey(community, cluster_id)
-            annotations[key] = annotation
-            cluster_keys.append(key)
-
-    # Step 6: associate every post's image with the annotated medoids.
-    medoid_by_global = {
-        index: int(annotations[key].medoid_hash)
-        for index, key in enumerate(cluster_keys)
-    }
-    all_hashes = np.array([post.phash for post in world.posts], dtype=np.uint64)
-    association = associate_hashes(all_hashes, medoid_by_global, theta=config.theta)
-
-    matched = association.cluster_ids >= 0
-    matched_posts = [post for post, hit in zip(world.posts, matched) if hit]
-    cluster_indices = association.cluster_ids[matched]
-    entry_names = [
-        annotations[cluster_keys[index]].representative for index in cluster_indices
-    ]
-    is_racist = np.array(
-        [annotations[cluster_keys[index]].is_racist for index in cluster_indices],
-        dtype=bool,
-    )
-    is_politics = np.array(
-        [annotations[cluster_keys[index]].is_politics for index in cluster_indices],
-        dtype=bool,
-    )
-    occurrences = OccurrenceTable(
-        posts=matched_posts,
-        cluster_indices=np.asarray(cluster_indices, dtype=np.int64),
-        entry_names=entry_names,
-        is_racist=is_racist,
-        is_politics=is_politics,
-    )
-    return PipelineResult(
-        clusterings=clusterings,
-        annotations=annotations,
-        cluster_keys=cluster_keys,
-        occurrences=occurrences,
-        screenshot_report=screenshot_report,
-    )
+    return PipelineRunner(world, config, options).run()

@@ -11,7 +11,66 @@ from repro.annotation.matcher import ClusterAnnotation
 from repro.clustering.dbscan import NOISE, DBSCANResult
 from repro.communities.models import Post
 
-__all__ = ["ClusterKey", "CommunityClustering", "OccurrenceTable", "PipelineResult"]
+__all__ = [
+    "ClusterKey",
+    "CommunityClustering",
+    "OccurrenceTable",
+    "PipelineResult",
+    "StageReport",
+]
+
+
+@dataclass
+class StageReport:
+    """What one runner stage did: outcome, effort, and fault handling.
+
+    Attributes
+    ----------
+    name:
+        Stage name (``cluster``, ``screenshot-filter``, ``annotate``,
+        ``associate``).
+    status:
+        ``"completed"`` (ran clean), ``"resumed"`` (loaded from
+        checkpoint), ``"degraded"`` (finished via fallback/quarantine),
+        or ``"failed"``.
+    attempts:
+        Work-item executions including retries (0 when resumed).
+    duration_s:
+        Wall time of the stage, checkpoint I/O included.
+    fallbacks:
+        Degradation-ladder steps taken, e.g. ``"classifier->oracle"``.
+    quarantined:
+        Items isolated after permanent failure, e.g. ``"cluster:pol"``.
+    resumed:
+        Whether the output came from a checkpoint.
+    error:
+        Message of the error that triggered degradation, if any.
+    notes:
+        Free-form diagnostics (invalid-checkpoint reasons, retry info).
+    """
+
+    name: str
+    status: str = "completed"
+    attempts: int = 0
+    duration_s: float = 0.0
+    fallbacks: list[str] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
+    resumed: bool = False
+    error: str | None = None
+    notes: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable digest (CLI output)."""
+        parts = [f"{self.name}: {self.status}"]
+        parts.append(f"attempts={self.attempts}")
+        parts.append(f"{self.duration_s:.2f}s")
+        if self.fallbacks:
+            parts.append("fallbacks=" + ",".join(self.fallbacks))
+        if self.quarantined:
+            parts.append("quarantined=" + ",".join(self.quarantined))
+        if self.error:
+            parts.append(f"error={self.error}")
+        return "  ".join(parts)
 
 
 class ClusterKey(NamedTuple):
@@ -120,6 +179,9 @@ class PipelineResult:
         The Step 6 association table over every community's posts.
     screenshot_report:
         Step 4 evaluation metrics when the classifier ran, else ``None``.
+    stage_reports:
+        Per-stage :class:`StageReport` records when the run went through
+        the staged runner; empty for directly-assembled results.
     """
 
     clusterings: dict[str, CommunityClustering]
@@ -127,6 +189,7 @@ class PipelineResult:
     cluster_keys: list[ClusterKey]
     occurrences: OccurrenceTable
     screenshot_report: object | None = None
+    stage_reports: list[StageReport] = field(default_factory=list)
     _key_index: dict[ClusterKey, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -147,3 +210,15 @@ class PipelineResult:
         if community is None:
             return len(self.cluster_keys)
         return len(self.annotated_clusters_of(community))
+
+    def stage_report(self, name: str) -> StageReport | None:
+        """The report of one runner stage, or ``None`` if absent."""
+        for report in self.stage_reports:
+            if report.name == name:
+                return report
+        return None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any stage finished via fallback or quarantine."""
+        return any(report.status == "degraded" for report in self.stage_reports)

@@ -1,0 +1,469 @@
+"""Staged, fault-tolerant execution engine for the Step 1-7 pipeline.
+
+The paper's production run took weeks over 160M images; at that scale a
+single monolithic function is operationally unacceptable — one bad
+cluster or one classifier blow-up loses everything.  The runner
+decomposes :func:`repro.core.pipeline.run_pipeline` into four named
+stages with explicit boundaries::
+
+    cluster ──> screenshot-filter ──> annotate ──> associate
+
+and wraps each boundary with the fault-tolerance machinery:
+
+* **Checkpoint/resume** — each stage's output is written to
+  ``<checkpoint_dir>/<stage>.ckpt`` (integrity-checked, atomic; see
+  :mod:`repro.utils.io`).  With ``resume=True`` a valid checkpoint is
+  loaded instead of recomputed; corrupt or stale checkpoints are
+  detected, noted in the stage report, and recomputed.
+* **Retry** — transient failures (:class:`repro.utils.retry.
+  TransientError`, ``OSError``) are retried with exponential backoff.
+* **Graceful degradation** — the screenshot filter walks the ladder
+  ``classifier`` → ``oracle`` → ``none`` on permanent failure instead
+  of aborting Step 4.
+* **Quarantine** — a community whose clustering (or annotation) fails
+  permanently is isolated with an empty result while the other fringe
+  communities proceed.
+* **Observability** — every stage appends a
+  :class:`~repro.core.results.StageReport` (timings, attempts,
+  fallbacks, quarantined items) to the returned
+  :class:`~repro.core.results.PipelineResult`.
+
+Fault injection for tests goes through :mod:`repro.core.faults`: the
+runner calls ``faults.fire(site)`` at every boundary it crosses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.communities.models import FRINGE_COMMUNITIES
+from repro.annotation.association import associate_hashes
+from repro.annotation.matcher import annotate_clusters
+from repro.clustering.dbscan import dbscan
+from repro.core.config import PipelineConfig, RunnerPolicy
+from repro.core.faults import FaultInjector
+from repro.core.results import (
+    ClusterKey,
+    CommunityClustering,
+    OccurrenceTable,
+    PipelineResult,
+    StageReport,
+)
+from repro.utils.io import CheckpointError, load_checkpoint, save_checkpoint
+from repro.utils.retry import RetryPolicy, retry_call
+
+__all__ = ["PipelineRunner", "RunnerOptions", "StageFailure", "STAGES"]
+
+STAGES = ("cluster", "screenshot-filter", "annotate", "associate")
+
+
+class StageFailure(RuntimeError):
+    """A stage failed permanently with no fallback left."""
+
+    def __init__(self, stage: str, cause: BaseException) -> None:
+        super().__init__(f"stage {stage!r} failed permanently: {cause}")
+        self.stage = stage
+        self.cause = cause
+
+
+@dataclass
+class RunnerOptions:
+    """Execution options of one :class:`PipelineRunner` invocation.
+
+    Attributes
+    ----------
+    checkpoint_dir:
+        Directory for per-stage checkpoints; ``None`` disables
+        checkpointing entirely.
+    resume:
+        Load valid checkpoints instead of recomputing their stages.
+    policy:
+        Retry/degradation/quarantine policy.
+    faults:
+        Optional fault-injection plan (tests only).
+    sleep:
+        Injectable backoff sleeper; defaults to real ``time.sleep``.
+    seed:
+        Seed for seed-dependent stages (the screenshot classifier).
+        ``None`` takes the world's own ``config.seed``, falling back
+        to 0 — this is what threads the world seed into Step 4.
+    """
+
+    checkpoint_dir: str | Path | None = None
+    resume: bool = False
+    policy: RunnerPolicy = field(default_factory=RunnerPolicy)
+    faults: FaultInjector | None = None
+    sleep: Callable[[float], None] | None = None
+    seed: int | None = None
+
+
+class PipelineRunner:
+    """Run the pipeline stage by stage with fault tolerance.
+
+    Examples
+    --------
+    >>> # runner = PipelineRunner(world, PipelineConfig(),
+    >>> #                         RunnerOptions(checkpoint_dir="ckpt"))
+    >>> # result = runner.run()
+    >>> # [r.summary() for r in result.stage_reports]
+    """
+
+    def __init__(
+        self,
+        world,
+        config: PipelineConfig | None = None,
+        options: RunnerOptions | None = None,
+    ) -> None:
+        self.world = world
+        self.config = config or PipelineConfig()
+        self.options = options or RunnerOptions()
+        self.reports: list[StageReport] = []
+
+    # ------------------------------------------------------------------
+    # Identity and plumbing
+    # ------------------------------------------------------------------
+
+    def _seed(self) -> int:
+        if self.options.seed is not None:
+            return int(self.options.seed)
+        world_config = getattr(self.world, "config", None)
+        return int(getattr(world_config, "seed", 0) or 0)
+
+    def _fingerprint(self, stage: str) -> str:
+        """Bind a checkpoint to (world identity, pipeline config, stage).
+
+        Resuming with a different seed, scale, or config must invalidate
+        old checkpoints rather than silently mixing runs.
+        """
+        world_config = getattr(self.world, "config", None)
+        world_id = (
+            f"seed={getattr(world_config, 'seed', None)}"
+            f",events_unit={getattr(world_config, 'events_unit', None)}"
+            f",noise_scale={getattr(world_config, 'noise_scale', None)}"
+            f",posts={len(self.world.posts)}"
+        )
+        return f"v1|{world_id}|{self.config!r}|{stage}"
+
+    def _checkpoint_path(self, stage: str) -> Path | None:
+        if self.options.checkpoint_dir is None:
+            return None
+        return Path(self.options.checkpoint_dir) / f"{stage}.ckpt"
+
+    def _retry_policy(self) -> RetryPolicy:
+        policy = self.options.policy
+        return RetryPolicy(
+            max_retries=policy.max_retries,
+            base_delay=policy.retry_base_delay,
+            backoff=policy.retry_backoff,
+        )
+
+    def _fire(self, site: str, *, path: Path | None = None) -> None:
+        if self.options.faults is not None:
+            self.options.faults.fire(site, path=path)
+
+    # ------------------------------------------------------------------
+    # The checkpoint-or-compute stage wrapper
+    # ------------------------------------------------------------------
+
+    def _run_stage(
+        self,
+        stage: str,
+        compute: Callable[[StageReport], dict],
+        *,
+        restore: Callable[[dict], None] | None = None,
+    ) -> dict:
+        """Resume ``stage`` from its checkpoint or compute and save it.
+
+        ``compute(report)`` returns the stage payload (a picklable dict)
+        and may mutate ``report`` (attempts, fallbacks, quarantined).
+        ``restore`` reapplies payload side effects after a resume (the
+        classifier rung mutates gallery flags in place).
+        """
+        report = StageReport(name=stage)
+        start = time.perf_counter()
+        path = self._checkpoint_path(stage)
+        if self.options.resume and path is not None and path.exists():
+            try:
+                payload = load_checkpoint(path, fingerprint=self._fingerprint(stage))
+            except CheckpointError as error:
+                report.notes.append(f"checkpoint invalid, recomputing: {error}")
+            else:
+                report.status = "resumed"
+                report.resumed = True
+                report.fallbacks = list(payload.get("fallbacks", []))
+                report.quarantined = list(payload.get("quarantined", []))
+                report.duration_s = time.perf_counter() - start
+                if restore is not None:
+                    restore(payload)
+                self.reports.append(report)
+                return payload
+        self._fire(stage)
+        payload = compute(report)
+        payload.setdefault("fallbacks", list(report.fallbacks))
+        payload.setdefault("quarantined", list(report.quarantined))
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            save_checkpoint(path, payload, fingerprint=self._fingerprint(stage))
+            self._fire(f"checkpoint:{stage}", path=path)
+        report.duration_s = time.perf_counter() - start
+        self.reports.append(report)
+        return payload
+
+    def _run_item(
+        self,
+        report: StageReport,
+        site: str,
+        compute: Callable[[], object],
+    ) -> object:
+        """One retried work item inside a stage; raises on exhaustion."""
+
+        def attempt() -> object:
+            report.attempts += 1
+            self._fire(site)
+            return compute()
+
+        outcome = retry_call(
+            attempt, self._retry_policy(), sleep=self.options.sleep
+        )
+        if outcome.errors:
+            report.notes.append(
+                f"{site}: succeeded after {outcome.attempts} attempts"
+            )
+        return outcome.value
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+
+    def _empty_clustering(self, community: str) -> CommunityClustering:
+        unique = np.empty(0, dtype=np.uint64)
+        return CommunityClustering(
+            community=community,
+            unique_hashes=unique,
+            counts=np.empty(0, dtype=np.int64),
+            result=dbscan(unique, eps=self.config.clustering_eps),
+            medoids={},
+        )
+
+    def _cluster_stage(self, report: StageReport) -> dict:
+        """Steps 2-3 per fringe community, with per-community quarantine."""
+        from repro.core.pipeline import cluster_community
+
+        clusterings: dict[str, CommunityClustering] = {}
+        for community in FRINGE_COMMUNITIES:
+            site = f"cluster:{community}"
+            try:
+                clusterings[community] = self._run_item(
+                    report,
+                    site,
+                    lambda community=community: cluster_community(
+                        community, self.world.posts, self.config
+                    ),
+                )
+            except Exception as error:
+                if not self.options.policy.quarantine_failures:
+                    raise StageFailure("cluster", error) from error
+                report.quarantined.append(site)
+                report.status = "degraded"
+                report.error = f"{type(error).__name__}: {error}"
+                clusterings[community] = self._empty_clustering(community)
+        return {"clusterings": clusterings}
+
+    def _screenshot_stage(self, report: StageReport) -> dict:
+        """Step 4 with the classifier → oracle → none degradation ladder."""
+        from repro.core.pipeline import filter_kym_screenshots
+
+        ladder = self.config.screenshot_ladder()
+        last_error: BaseException | None = None
+        for rung, mode in enumerate(ladder):
+            site = f"screenshot-filter:{mode}"
+            rung_config = replace(self.config, screenshot_filter=mode)
+            try:
+                exclude, eval_report = self._run_item(
+                    report,
+                    site,
+                    lambda rung_config=rung_config: filter_kym_screenshots(
+                        self.world.kym_site,
+                        rung_config,
+                        seed=self._seed(),
+                        library=getattr(self.world, "library", None),
+                    ),
+                )
+            except Exception as error:
+                last_error = error
+                report.error = f"{type(error).__name__}: {error}"
+                if (
+                    rung + 1 >= len(ladder)
+                    or not self.options.policy.allow_degraded
+                ):
+                    raise StageFailure("screenshot-filter", error) from error
+                report.fallbacks.append(f"{mode}->{ladder[rung + 1]}")
+                continue
+            if rung > 0:
+                report.status = "degraded"
+            payload = {
+                "exclude": exclude,
+                "report": eval_report,
+                "mode": mode,
+            }
+            if mode == "classifier":
+                # The classifier re-flags gallery images in place; record
+                # the decided flags so a resumed run can replay them.
+                payload["gallery_flags"] = [
+                    [bool(image.is_screenshot) for image in entry.gallery]
+                    for entry in self.world.kym_site
+                ]
+            return payload
+        raise StageFailure("screenshot-filter", last_error)  # pragma: no cover
+
+    def _restore_screenshot_stage(self, payload: dict) -> None:
+        """Replay checkpointed classifier decisions onto the galleries."""
+        flags = payload.get("gallery_flags")
+        if flags is None:
+            return
+        for entry, entry_flags in zip(self.world.kym_site, flags):
+            for index, decided in enumerate(entry_flags):
+                image = entry.gallery[index]
+                if bool(image.is_screenshot) != decided:
+                    entry.gallery[index] = type(image)(
+                        phash=image.phash,
+                        is_screenshot=decided,
+                        template_name=image.template_name,
+                        image=image.image,
+                    )
+
+    def _annotate_stage(
+        self,
+        report: StageReport,
+        clusterings: dict[str, CommunityClustering],
+        exclude_screenshots: bool,
+    ) -> dict:
+        """Step 5 per community, quarantining permanently-failing ones."""
+        annotations: dict[ClusterKey, object] = {}
+        cluster_keys: list[ClusterKey] = []
+        for community, clustering in clusterings.items():
+            site = f"annotate:{community}"
+            try:
+                community_annotations = self._run_item(
+                    report,
+                    site,
+                    lambda clustering=clustering: annotate_clusters(
+                        clustering.medoids,
+                        self.world.kym_site,
+                        theta=self.config.theta,
+                        exclude_screenshots=exclude_screenshots,
+                    ),
+                )
+            except Exception as error:
+                if not self.options.policy.quarantine_failures:
+                    raise StageFailure("annotate", error) from error
+                report.quarantined.append(site)
+                report.status = "degraded"
+                report.error = f"{type(error).__name__}: {error}"
+                continue
+            for cluster_id, annotation in sorted(community_annotations.items()):
+                key = ClusterKey(community, cluster_id)
+                annotations[key] = annotation
+                cluster_keys.append(key)
+        return {"annotations": annotations, "cluster_keys": cluster_keys}
+
+    def _associate_stage(
+        self,
+        report: StageReport,
+        annotations: dict[ClusterKey, object],
+        cluster_keys: list[ClusterKey],
+    ) -> dict:
+        """Step 6 over every community's posts (strict: no fallback)."""
+
+        def compute() -> OccurrenceTable:
+            medoid_by_global = {
+                index: int(annotations[key].medoid_hash)
+                for index, key in enumerate(cluster_keys)
+            }
+            all_hashes = np.array(
+                [post.phash for post in self.world.posts], dtype=np.uint64
+            )
+            association = associate_hashes(
+                all_hashes, medoid_by_global, theta=self.config.theta
+            )
+            matched = association.cluster_ids >= 0
+            matched_posts = [
+                post for post, hit in zip(self.world.posts, matched) if hit
+            ]
+            cluster_indices = association.cluster_ids[matched]
+            entry_names = [
+                annotations[cluster_keys[index]].representative
+                for index in cluster_indices
+            ]
+            is_racist = np.array(
+                [
+                    annotations[cluster_keys[index]].is_racist
+                    for index in cluster_indices
+                ],
+                dtype=bool,
+            )
+            is_politics = np.array(
+                [
+                    annotations[cluster_keys[index]].is_politics
+                    for index in cluster_indices
+                ],
+                dtype=bool,
+            )
+            return OccurrenceTable(
+                posts=matched_posts,
+                cluster_indices=np.asarray(cluster_indices, dtype=np.int64),
+                entry_names=entry_names,
+                is_racist=is_racist,
+                is_politics=is_politics,
+            )
+
+        try:
+            occurrences = self._run_item(report, "associate:all", compute)
+        except Exception as error:
+            raise StageFailure("associate", error) from error
+        return {"occurrences": occurrences}
+
+    # ------------------------------------------------------------------
+    # Orchestration
+    # ------------------------------------------------------------------
+
+    def run(self) -> PipelineResult:
+        """Execute (or resume) all stages and assemble the result."""
+        cluster_payload = self._run_stage("cluster", self._cluster_stage)
+        clusterings = cluster_payload["clusterings"]
+
+        screenshot_payload = self._run_stage(
+            "screenshot-filter",
+            self._screenshot_stage,
+            restore=self._restore_screenshot_stage,
+        )
+
+        annotate_payload = self._run_stage(
+            "annotate",
+            lambda report: self._annotate_stage(
+                report, clusterings, screenshot_payload["exclude"]
+            ),
+        )
+        annotations = annotate_payload["annotations"]
+        cluster_keys = annotate_payload["cluster_keys"]
+
+        associate_payload = self._run_stage(
+            "associate",
+            lambda report: self._associate_stage(
+                report, annotations, cluster_keys
+            ),
+        )
+
+        return PipelineResult(
+            clusterings=clusterings,
+            annotations=annotations,
+            cluster_keys=cluster_keys,
+            occurrences=associate_payload["occurrences"],
+            screenshot_report=screenshot_payload["report"],
+            stage_reports=list(self.reports),
+        )

@@ -13,7 +13,16 @@ from repro.utils.bitops import (
     popcount,
     unpack_bits,
 )
-from repro.utils.io import export_occurrences_csv, load_posts, save_posts
+from repro.utils.io import (
+    CheckpointError,
+    StaleCheckpointError,
+    export_occurrences_csv,
+    load_checkpoint,
+    load_posts,
+    save_checkpoint,
+    save_posts,
+)
+from repro.utils.retry import RetryOutcome, RetryPolicy, TransientError, retry_call
 from repro.utils.rng import RngStream, derive_rng
 from repro.utils.svgplot import LineChart, Series
 from repro.utils.tables import format_table, print_table
@@ -33,6 +42,14 @@ __all__ = [
     "save_posts",
     "load_posts",
     "export_occurrences_csv",
+    "CheckpointError",
+    "StaleCheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "RetryPolicy",
+    "RetryOutcome",
+    "TransientError",
+    "retry_call",
     "LineChart",
     "Series",
 ]

@@ -1,22 +1,126 @@
-"""Persistence: save and load post streams and occurrence tables.
+"""Persistence: post streams, occurrence tables, and stage checkpoints.
 
 The paper released its (hashed) datasets alongside the pipeline; this
 module provides the equivalent for the synthetic world — a compact NPZ
 serialisation of post streams (hashes, never raw images, mirroring the
 paper's privacy posture of keeping only URL + pHash) and a CSV export of
 meme occurrences for external analysis.
+
+It also holds the checkpoint format of the staged runner
+(:mod:`repro.core.runner`): one file per stage, an integrity-checked
+pickle so an interrupted multi-hour run can resume from the last
+completed stage.  Layout::
+
+    b"RPC1"                     magic + format version
+    sha256(fingerprint+payload) 32 bytes, detects corruption/truncation
+    len(fingerprint)            4 bytes big-endian
+    fingerprint                 utf-8; binds the checkpoint to its
+                                (world, config, stage) identity
+    len(payload)                8 bytes big-endian
+    payload                     pickled stage output
+
+A checkpoint whose digest fails raises :class:`CheckpointError`; one
+whose fingerprint differs from the resuming run raises
+:class:`StaleCheckpointError` (the runner recomputes in both cases
+rather than trusting bad state).
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
+import pickle
 from pathlib import Path
 
 import numpy as np
 
 from repro.communities.models import Post
 
-__all__ = ["save_posts", "load_posts", "export_occurrences_csv"]
+__all__ = [
+    "save_posts",
+    "load_posts",
+    "export_occurrences_csv",
+    "CheckpointError",
+    "StaleCheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+_CHECKPOINT_MAGIC = b"RPC1"
+
+
+class CheckpointError(RuntimeError):
+    """The checkpoint file is corrupt, truncated, or not a checkpoint."""
+
+
+class StaleCheckpointError(CheckpointError):
+    """The checkpoint is intact but belongs to a different run identity."""
+
+
+def save_checkpoint(path: str | Path, payload: object, *, fingerprint: str) -> None:
+    """Atomically write ``payload`` as an integrity-checked checkpoint.
+
+    The write goes to a sibling temp file first and is renamed into
+    place, so a crash mid-write never leaves a half-written file under
+    the checkpoint's name.
+    """
+    path = Path(path)
+    fingerprint_bytes = fingerprint.encode("utf-8")
+    payload_bytes = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(fingerprint_bytes + payload_bytes).digest()
+    blob = (
+        _CHECKPOINT_MAGIC
+        + digest
+        + len(fingerprint_bytes).to_bytes(4, "big")
+        + fingerprint_bytes
+        + len(payload_bytes).to_bytes(8, "big")
+        + payload_bytes
+    )
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_bytes(blob)
+    temp.replace(path)
+
+
+def load_checkpoint(path: str | Path, *, fingerprint: str | None = None) -> object:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Raises
+    ------
+    CheckpointError
+        On bad magic, truncation, or digest mismatch.
+    StaleCheckpointError
+        When ``fingerprint`` is given and differs from the stored one.
+    """
+    path = Path(path)
+    blob = path.read_bytes()
+    if len(blob) < len(_CHECKPOINT_MAGIC) + 32 + 4:
+        raise CheckpointError(f"{path}: truncated checkpoint header")
+    if blob[:4] != _CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path}: not a checkpoint file")
+    digest = blob[4:36]
+    cursor = 36
+    fp_len = int.from_bytes(blob[cursor : cursor + 4], "big")
+    cursor += 4
+    if len(blob) < cursor + fp_len + 8:
+        raise CheckpointError(f"{path}: truncated checkpoint fingerprint")
+    stored_fingerprint = blob[cursor : cursor + fp_len]
+    cursor += fp_len
+    payload_len = int.from_bytes(blob[cursor : cursor + 8], "big")
+    cursor += 8
+    payload_bytes = blob[cursor : cursor + payload_len]
+    if len(payload_bytes) != payload_len or len(blob) != cursor + payload_len:
+        raise CheckpointError(f"{path}: truncated or padded checkpoint payload")
+    if hashlib.sha256(stored_fingerprint + payload_bytes).digest() != digest:
+        raise CheckpointError(f"{path}: checkpoint digest mismatch (corrupted)")
+    if fingerprint is not None and stored_fingerprint != fingerprint.encode("utf-8"):
+        raise StaleCheckpointError(
+            f"{path}: checkpoint belongs to a different run "
+            f"({stored_fingerprint.decode('utf-8', 'replace')!r})"
+        )
+    try:
+        return pickle.loads(payload_bytes)
+    except Exception as error:  # digest passed but unpicklable payload
+        raise CheckpointError(f"{path}: undecodable checkpoint payload: {error}")
 
 _NONE_SCORE = np.iinfo(np.int64).min
 

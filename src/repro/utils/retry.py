@@ -1,0 +1,102 @@
+"""Retry with exponential backoff for transient stage failures.
+
+The staged runner (:mod:`repro.core.runner`) distinguishes *transient*
+failures — worth retrying with backoff, e.g. an interrupted I/O path or
+an injected :class:`TransientError` — from *permanent* ones that should
+flow into the degradation/quarantine machinery immediately.  This module
+holds the policy and the generic retry loop; it knows nothing about
+pipeline stages.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+__all__ = ["RetryPolicy", "RetryOutcome", "TransientError", "retry_call"]
+
+T = TypeVar("T")
+
+
+class TransientError(RuntimeError):
+    """A failure expected to succeed on retry (timeouts, flaky I/O)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to back off.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries *after* the first attempt (0 disables retrying).
+    base_delay:
+        Sleep before the first retry, in seconds.
+    backoff:
+        Multiplier applied to the delay after each failed retry.
+    max_delay:
+        Upper bound on any single sleep.
+    retryable:
+        Exception types considered transient.  Anything else propagates
+        to the caller on the first failure.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 5.0
+    retryable: tuple[type[BaseException], ...] = (TransientError, OSError)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+
+    def delay_for(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (0-based)."""
+        return min(self.base_delay * self.backoff**retry_index, self.max_delay)
+
+
+@dataclass
+class RetryOutcome:
+    """What the retry loop observed: attempts made and errors swallowed."""
+
+    value: object = None
+    attempts: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: RetryPolicy | None = None,
+    *,
+    sleep: Callable[[float], None] | None = None,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> RetryOutcome:
+    """Call ``fn`` under ``policy``, returning value + attempt bookkeeping.
+
+    Transient exceptions (per ``policy.retryable``) are retried up to
+    ``policy.max_retries`` times with exponential backoff; the last one
+    re-raises if every attempt fails.  Non-transient exceptions propagate
+    immediately.  ``sleep`` is injectable so tests never actually wait.
+    """
+    policy = policy or RetryPolicy()
+    sleep = time.sleep if sleep is None else sleep
+    outcome = RetryOutcome()
+    for retry_index in range(policy.max_retries + 1):
+        outcome.attempts += 1
+        try:
+            outcome.value = fn()
+            return outcome
+        except policy.retryable as error:
+            outcome.errors.append(f"{type(error).__name__}: {error}")
+            if retry_index == policy.max_retries:
+                raise
+            if on_retry is not None:
+                on_retry(retry_index, error)
+            sleep(policy.delay_for(retry_index))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -121,3 +121,33 @@ class TestKSMatrix:
     def test_invalid_group(self, study, pipeline_result):
         with pytest.raises(ValueError):
             ks_significance_matrix(study, pipeline_result, "sports")
+
+
+class TestFitFailureIsolation:
+    def test_no_failures_on_healthy_world(self, study):
+        assert study.failures == {}
+
+    def test_one_bad_cluster_is_isolated(self, world, pipeline_result, monkeypatch):
+        """A single pathological Hawkes fit must be reported, not sink
+        the whole study."""
+        import repro.analysis.influence as influence_module
+
+        real_fit = influence_module.fit_hawkes_em
+        calls = {"n": 0}
+
+        def flaky_fit(sequences, k, fit_config):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise np.linalg.LinAlgError("singular EM update")
+            return real_fit(sequences, k, fit_config)
+
+        monkeypatch.setattr(influence_module, "fit_hawkes_em", flaky_fit)
+        study = influence_study(
+            pipeline_result, world.config.horizon_days, min_events=8
+        )
+        assert len(study.failures) == 1
+        failed_key, message = next(iter(study.failures.items()))
+        assert "LinAlgError" in message
+        assert failed_key not in study.per_cluster
+        assert np.all(np.isfinite(study.total.expected_events))
+        assert len(study.per_cluster) >= 1

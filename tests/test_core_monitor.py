@@ -109,3 +109,48 @@ class TestEmptyMonitor:
         )
         with pytest.raises(ValueError):
             MemeMonitor(result, theta=-1)
+
+
+class TestInputHardening:
+    @pytest.fixture(scope="class")
+    def monitor(self, pipeline_result):
+        return MemeMonitor(pipeline_result)
+
+    def test_negative_hash_rejected(self, monitor):
+        with pytest.raises(ValueError, match="64-bit"):
+            monitor.classify_hash(-1)
+
+    def test_overflowing_hash_rejected(self, monitor):
+        with pytest.raises(ValueError, match="64-bit"):
+            monitor.classify_hash(2**64)
+
+    def test_boundary_hashes_accepted(self, monitor):
+        assert isinstance(monitor.classify_hash(0), MonitorVerdict)
+        assert isinstance(monitor.classify_hash(2**64 - 1), MonitorVerdict)
+        assert isinstance(
+            monitor.classify_hash(np.uint64(2**64 - 1)), MonitorVerdict
+        )
+
+    def test_non_integer_hash_rejected(self, monitor):
+        with pytest.raises(TypeError):
+            monitor.classify_hash("deadbeef")
+        with pytest.raises(TypeError):
+            monitor.classify_hash(None)
+
+    def test_empty_raster_rejected(self, monitor):
+        with pytest.raises(ValueError, match="empty raster"):
+            monitor.classify_image(np.empty((0, 0)))
+        with pytest.raises(ValueError, match="empty raster"):
+            monitor.classify_image(np.empty((0, 64)))
+
+    def test_wrong_ndim_raster_rejected(self, monitor):
+        with pytest.raises(ValueError, match="ndim=1"):
+            monitor.classify_image(np.zeros(64))
+        with pytest.raises(ValueError, match="ndim=4"):
+            monitor.classify_image(np.zeros((2, 2, 2, 2)))
+        with pytest.raises(ValueError, match="ndim=0"):
+            monitor.classify_image(np.float64(0.5))
+
+    def test_color_raster_accepted(self, monitor):
+        verdict = monitor.classify_image(np.zeros((32, 32, 3)))
+        assert isinstance(verdict, MonitorVerdict)

@@ -1,11 +1,18 @@
-"""Failure injection: degenerate worlds and edge configurations."""
+"""Failure injection: degenerate worlds, edge configurations, crashes."""
 
 import numpy as np
 import pytest
 
 from repro.annotation.catalog import CatalogEntry
 from repro.communities import SyntheticWorld, WorldConfig
-from repro.core import PipelineConfig, run_pipeline
+from repro.core import (
+    Fault,
+    FaultInjector,
+    PipelineConfig,
+    RunnerOptions,
+    corrupt_file,
+    run_pipeline,
+)
 
 
 @pytest.fixture(scope="module")
@@ -58,6 +65,129 @@ class TestSingleEntryCatalog:
         result = run_pipeline(world, PipelineConfig())
         for annotation in result.annotations.values():
             assert annotation.representative == "lonely-meme"
+
+
+class _ZeroPostWorld:
+    """A world-shaped object with no posts at all (pre-launch platform)."""
+
+    def __init__(self, template):
+        self.posts = []
+        self.kym_site = template.kym_site
+        self.library = getattr(template, "library", None)
+        self.config = template.config
+
+
+class TestZeroPostWorld:
+    def test_full_runner_on_empty_stream(self, tiny_world):
+        world = _ZeroPostWorld(tiny_world)
+        result = run_pipeline(world, PipelineConfig())
+        assert [r.status for r in result.stage_reports] == ["completed"] * 4
+        assert len(result.occurrences) == 0
+        assert result.cluster_keys == []
+        for clustering in result.clusterings.values():
+            assert clustering.n_clusters == 0
+            assert clustering.n_images == 0
+
+    def test_empty_stream_checkpoints_roundtrip(self, tiny_world, tmp_path):
+        world = _ZeroPostWorld(tiny_world)
+        run_pipeline(
+            world, PipelineConfig(), options=RunnerOptions(checkpoint_dir=tmp_path)
+        )
+        resumed = run_pipeline(
+            world,
+            PipelineConfig(),
+            options=RunnerOptions(checkpoint_dir=tmp_path, resume=True),
+        )
+        assert all(report.resumed for report in resumed.stage_reports)
+        assert len(resumed.occurrences) == 0
+
+
+class TestCrashAndResume:
+    def test_mid_run_crash_then_resume(self, tiny_world, tmp_path):
+        """Injected crash between annotate and associate; the resumed run
+        reuses every completed stage's checkpoint."""
+        injector = FaultInjector(
+            [Fault("checkpoint:annotate", KeyboardInterrupt(), times=1)]
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_pipeline(
+                tiny_world,
+                PipelineConfig(),
+                options=RunnerOptions(checkpoint_dir=tmp_path, faults=injector),
+            )
+        saved = sorted(path.name for path in tmp_path.iterdir())
+        assert saved == ["annotate.ckpt", "cluster.ckpt", "screenshot-filter.ckpt"]
+
+        result = run_pipeline(
+            tiny_world,
+            PipelineConfig(),
+            options=RunnerOptions(checkpoint_dir=tmp_path, resume=True),
+        )
+        statuses = {r.name: r.status for r in result.stage_reports}
+        assert statuses == {
+            "cluster": "resumed",
+            "screenshot-filter": "resumed",
+            "annotate": "resumed",
+            "associate": "completed",
+        }
+        fresh = run_pipeline(tiny_world, PipelineConfig())
+        assert result.cluster_keys == fresh.cluster_keys
+        assert len(result.occurrences) == len(fresh.occurrences)
+
+    def test_corrupted_checkpoint_detected_and_recomputed(
+        self, tiny_world, tmp_path
+    ):
+        run_pipeline(
+            tiny_world,
+            PipelineConfig(),
+            options=RunnerOptions(checkpoint_dir=tmp_path),
+        )
+        corrupt_file(tmp_path / "cluster.ckpt", mode="flip")
+        result = run_pipeline(
+            tiny_world,
+            PipelineConfig(),
+            options=RunnerOptions(checkpoint_dir=tmp_path, resume=True),
+        )
+        report = result.stage_report("cluster")
+        assert report.status == "completed" and not report.resumed
+        assert any("checkpoint invalid" in note for note in report.notes)
+        # Later stages were untouched by the corruption and still resume.
+        assert result.stage_report("annotate").resumed
+
+    def test_truncated_checkpoint_detected(self, tiny_world, tmp_path):
+        run_pipeline(
+            tiny_world,
+            PipelineConfig(),
+            options=RunnerOptions(checkpoint_dir=tmp_path),
+        )
+        corrupt_file(tmp_path / "associate.ckpt", mode="truncate")
+        result = run_pipeline(
+            tiny_world,
+            PipelineConfig(),
+            options=RunnerOptions(checkpoint_dir=tmp_path, resume=True),
+        )
+        report = result.stage_report("associate")
+        assert report.status == "completed" and not report.resumed
+        assert any("checkpoint invalid" in note for note in report.notes)
+
+
+class TestScreenshotDegradation:
+    def test_fallback_chain_recorded(self, tiny_world):
+        """The classifier rung dies permanently; the run completes via
+        the oracle rung and the report shows the whole chain."""
+        injector = FaultInjector(
+            [Fault("screenshot-filter:classifier", RuntimeError("oom"), times=1)]
+        )
+        result = run_pipeline(
+            tiny_world,
+            PipelineConfig(screenshot_filter="classifier"),
+            options=RunnerOptions(faults=injector, sleep=lambda s: None),
+        )
+        report = result.stage_report("screenshot-filter")
+        assert report.status == "degraded"
+        assert report.fallbacks == ["classifier->oracle"]
+        assert "oom" in report.error
+        assert result.degraded
 
 
 class TestExtremeConfigs:

@@ -1,11 +1,20 @@
-"""Tests for post serialisation and occurrence export."""
+"""Tests for post serialisation, occurrence export, and checkpoints."""
 
 import csv
 
 import numpy as np
+import pytest
 
 from repro.communities.models import Post
-from repro.utils.io import export_occurrences_csv, load_posts, save_posts
+from repro.utils.io import (
+    CheckpointError,
+    StaleCheckpointError,
+    export_occurrences_csv,
+    load_checkpoint,
+    load_posts,
+    save_checkpoint,
+    save_posts,
+)
 
 
 def sample_posts():
@@ -87,3 +96,58 @@ class TestExportOccurrences:
         assert len(rows) == n + 1
         # pHash column is 16 hex digits.
         assert all(len(row[2]) == 16 for row in rows[1:10])
+
+
+class TestCheckpoints:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "stage.ckpt"
+        payload = {"labels": np.arange(5), "name": "cluster"}
+        save_checkpoint(path, payload, fingerprint="run-1|cluster")
+        loaded = load_checkpoint(path, fingerprint="run-1|cluster")
+        assert loaded["name"] == "cluster"
+        np.testing.assert_array_equal(loaded["labels"], np.arange(5))
+
+    def test_fingerprint_optional_on_load(self, tmp_path):
+        path = tmp_path / "stage.ckpt"
+        save_checkpoint(path, [1, 2, 3], fingerprint="fp")
+        assert load_checkpoint(path) == [1, 2, 3]
+
+    def test_stale_fingerprint_rejected(self, tmp_path):
+        path = tmp_path / "stage.ckpt"
+        save_checkpoint(path, "payload", fingerprint="seed=1")
+        with pytest.raises(StaleCheckpointError):
+            load_checkpoint(path, fingerprint="seed=2")
+
+    def test_flipped_byte_detected(self, tmp_path):
+        path = tmp_path / "stage.ckpt"
+        save_checkpoint(path, list(range(100)), fingerprint="fp")
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, fingerprint="fp")
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "stage.ckpt"
+        save_checkpoint(path, list(range(100)), fingerprint="fp")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        path = tmp_path / "not-a-checkpoint"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_atomic_write_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "stage.ckpt"
+        save_checkpoint(path, "payload", fingerprint="fp")
+        assert [p.name for p in tmp_path.iterdir()] == ["stage.ckpt"]
+
+    def test_overwrite_replaces_previous(self, tmp_path):
+        path = tmp_path / "stage.ckpt"
+        save_checkpoint(path, "old", fingerprint="fp")
+        save_checkpoint(path, "new", fingerprint="fp")
+        assert load_checkpoint(path, fingerprint="fp") == "new"

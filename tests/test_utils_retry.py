@@ -1,0 +1,92 @@
+"""Tests for the retry/backoff helper."""
+
+import pytest
+
+from repro.utils.retry import RetryPolicy, TransientError, retry_call
+
+
+class Flaky:
+    """Fails ``failures`` times with ``error``, then returns ``value``."""
+
+    def __init__(self, failures, error=TransientError("flaky"), value="ok"):
+        self.failures = failures
+        self.error = error
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+
+    def test_exponential_delays_capped(self):
+        policy = RetryPolicy(base_delay=1.0, backoff=2.0, max_delay=3.0)
+        assert policy.delay_for(0) == 1.0
+        assert policy.delay_for(1) == 2.0
+        assert policy.delay_for(2) == 3.0  # capped, not 4.0
+
+
+class TestRetryCall:
+    def test_success_first_try(self):
+        outcome = retry_call(lambda: 7, RetryPolicy(max_retries=3))
+        assert outcome.value == 7
+        assert outcome.attempts == 1
+        assert outcome.errors == []
+
+    def test_transient_failures_retried(self):
+        flaky = Flaky(failures=2)
+        outcome = retry_call(
+            flaky, RetryPolicy(max_retries=2), sleep=lambda s: None
+        )
+        assert outcome.value == "ok"
+        assert outcome.attempts == 3
+        assert len(outcome.errors) == 2
+
+    def test_exhaustion_reraises_last_error(self):
+        flaky = Flaky(failures=5)
+        with pytest.raises(TransientError):
+            retry_call(flaky, RetryPolicy(max_retries=2), sleep=lambda s: None)
+        assert flaky.calls == 3
+
+    def test_permanent_error_not_retried(self):
+        flaky = Flaky(failures=5, error=ValueError("permanent"))
+        with pytest.raises(ValueError):
+            retry_call(flaky, RetryPolicy(max_retries=3), sleep=lambda s: None)
+        assert flaky.calls == 1
+
+    def test_backoff_sequence_observed(self):
+        slept = []
+        flaky = Flaky(failures=3)
+        retry_call(
+            flaky,
+            RetryPolicy(max_retries=3, base_delay=0.1, backoff=2.0),
+            sleep=slept.append,
+        )
+        assert slept == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_on_retry_callback(self):
+        seen = []
+        retry_call(
+            Flaky(failures=1),
+            RetryPolicy(max_retries=1),
+            sleep=lambda s: None,
+            on_retry=lambda index, error: seen.append((index, str(error))),
+        )
+        assert seen == [(0, "flaky")]
+
+    def test_zero_retries_disables(self):
+        flaky = Flaky(failures=1)
+        with pytest.raises(TransientError):
+            retry_call(flaky, RetryPolicy(max_retries=0), sleep=lambda s: None)
+        assert flaky.calls == 1
