@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Benchmark the parallel hot-path layer against the serial baseline.
+
+Standalone (not pytest-benchmark): run as
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--workers 4]
+        [--smoke] [--output BENCH_parallel.json]
+
+Measures the four parallelised hot paths on synthetic workloads sized
+like the paper's per-community image multisets:
+
+* ``radius_neighbors`` (``method="mih"``) on a clustered 50k-hash
+  multiset — the DBSCAN Step-2/3 bottleneck and the headline number;
+* ``hamming_distance_matrix`` row sharding;
+* ``associate_hashes`` (Step 6) sharded over unique hashes;
+* per-cluster Hawkes fits via :func:`fit_cluster_influence`.
+
+Every record verifies the parallel output element-for-element against
+serial before reporting a speedup — a fast wrong answer scores zero.
+
+Note on mechanism: the process backend shards queries across workers,
+and the shard kernel (`mih_neighbors_shard`) is additionally a batched
+implementation (vectorised candidate gathering + verify-then-dedup), so
+speedups above the core count are expected and honest — the serial
+baseline is the pre-existing per-query reference path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis.influence import fit_cluster_influence
+from repro.annotation.association import associate_hashes
+from repro.hashing.pairwise import radius_neighbors
+from repro.hawkes.model import EventSequence
+from repro.utils.bitops import hamming_distance_matrix
+from repro.utils.parallel import Executor, ParallelConfig
+
+
+def clustered_hashes(n_bases: int, members: int, seed: int = 7) -> np.ndarray:
+    """Clustered pHash multiset: bases with 0-3 random bit flips each.
+
+    Mimics the paper's data: near-duplicate variants of shared templates
+    rather than uniform random codes (which would make MIH look
+    unrealistically good).
+    """
+    rng = np.random.default_rng(seed)
+    bases = rng.integers(0, 2**64, size=n_bases, dtype=np.uint64)
+    out = np.repeat(bases, members)
+    flips = rng.integers(0, 4, size=out.size)
+    for bit in range(3):
+        mask = flips > bit
+        positions = rng.integers(0, 64, size=out.size, dtype=np.uint64)
+        out[mask] ^= np.uint64(1) << positions[mask]
+    return out
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def bench_radius_neighbors(n_hashes: int, parallel: ParallelConfig) -> dict:
+    hashes = clustered_hashes(n_hashes // 10, 10)
+    serial, serial_s = _timed(
+        lambda: radius_neighbors(hashes, 8, method="mih")
+    )
+    par, parallel_s = _timed(
+        lambda: radius_neighbors(hashes, 8, method="mih", parallel=parallel)
+    )
+    identical = len(serial) == len(par) and all(
+        np.array_equal(a, b) for a, b in zip(serial, par)
+    )
+    return {
+        "name": "radius_neighbors_mih",
+        "n_items": int(hashes.size),
+        "radius": 8,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else float("inf"),
+        "identical": identical,
+    }
+
+
+def bench_hamming_matrix(n: int, parallel: ParallelConfig) -> dict:
+    rng = np.random.default_rng(11)
+    a = rng.integers(0, 2**64, size=n, dtype=np.uint64)
+    b = rng.integers(0, 2**64, size=n, dtype=np.uint64)
+    serial, serial_s = _timed(lambda: hamming_distance_matrix(a, b))
+    par, parallel_s = _timed(
+        lambda: hamming_distance_matrix(a, b, parallel=parallel)
+    )
+    return {
+        "name": "hamming_distance_matrix",
+        "n_items": n,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else float("inf"),
+        "identical": bool(np.array_equal(serial, par)),
+    }
+
+
+def bench_association(n_hashes: int, n_medoids: int, parallel: ParallelConfig) -> dict:
+    rng = np.random.default_rng(13)
+    medoid_values = rng.integers(0, 2**64, size=n_medoids, dtype=np.uint64)
+    medoids = {int(i): int(v) for i, v in enumerate(medoid_values)}
+    near = np.repeat(medoid_values, 3) ^ np.uint64(1)
+    hashes = np.concatenate(
+        [near, clustered_hashes(max(1, (n_hashes - near.size) // 10), 10, seed=17)]
+    )
+    serial, serial_s = _timed(lambda: associate_hashes(hashes, medoids, theta=8))
+    par, parallel_s = _timed(
+        lambda: associate_hashes(hashes, medoids, theta=8, parallel=parallel)
+    )
+    identical = bool(
+        np.array_equal(serial.cluster_ids, par.cluster_ids)
+        and np.array_equal(serial.distances, par.distances)
+    )
+    return {
+        "name": "associate_hashes",
+        "n_items": int(hashes.size),
+        "n_medoids": n_medoids,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else float("inf"),
+        "identical": identical,
+    }
+
+
+def bench_hawkes_fits(n_clusters: int, parallel: ParallelConfig) -> dict:
+    rng = np.random.default_rng(19)
+    k = 5
+    sequences = []
+    for _ in range(n_clusters):
+        n_events = int(rng.integers(40, 120))
+        times = np.sort(rng.uniform(0.0, 60.0, size=n_events))
+        procs = rng.integers(0, k, size=n_events)
+        sequences.append(EventSequence.from_unsorted(times, procs, 60.0))
+    items = [(sequence, k, None) for sequence in sequences]
+    serial, serial_s = _timed(
+        lambda: [fit_cluster_influence(*item) for item in items]
+    )
+    par, parallel_s = _timed(
+        lambda: Executor(parallel).starmap(fit_cluster_influence, items)
+    )
+    identical = all(
+        s[0] == p[0]
+        and (
+            s[0] != "ok"
+            or np.array_equal(s[1].expected_events, p[1].expected_events)
+        )
+        for s, p in zip(serial, par)
+    )
+    return {
+        "name": "hawkes_fits",
+        "n_items": n_clusters,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else float("inf"),
+        "identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default="process"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads: verify identity and JSON shape, skip the "
+        "speedup assertion (for CI)",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_parallel.json"),
+    )
+    args = parser.parse_args(argv)
+    parallel = ParallelConfig(workers=args.workers, backend=args.backend)
+
+    if args.smoke:
+        sizes = dict(neighbors=2_000, matrix=500, assoc=5_000, medoids=50, hawkes=4)
+    else:
+        sizes = dict(neighbors=50_000, matrix=4_000, assoc=200_000, medoids=1_000, hawkes=20)
+
+    records = []
+    print(f"workers={args.workers} backend={args.backend} "
+          f"cpus={os.cpu_count()} smoke={args.smoke}", flush=True)
+    for record in (
+        bench_radius_neighbors(sizes["neighbors"], parallel),
+        bench_hamming_matrix(sizes["matrix"], parallel),
+        bench_association(sizes["assoc"], sizes["medoids"], parallel),
+        bench_hawkes_fits(sizes["hawkes"], parallel),
+    ):
+        records.append(record)
+        print(
+            f"  {record['name']:28s} n={record['n_items']:>7,}  "
+            f"serial={record['serial_s']:8.3f}s  "
+            f"parallel={record['parallel_s']:8.3f}s  "
+            f"speedup={record['speedup']:5.2f}x  "
+            f"identical={record['identical']}",
+            flush=True,
+        )
+
+    payload = {
+        "benchmark": "parallel hot paths (ISSUE 2)",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": {
+            "workers": args.workers,
+            "backend": args.backend,
+            "smoke": args.smoke,
+        },
+        "records": records,
+    }
+    output = os.path.abspath(args.output)
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {output}")
+
+    if not all(record["identical"] for record in records):
+        print("FAIL: parallel output differs from serial", file=sys.stderr)
+        return 1
+    headline = records[0]
+    if not args.smoke and headline["speedup"] < 2.0:
+        print(
+            f"FAIL: headline speedup {headline['speedup']:.2f}x < 2x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ from repro.analysis.inspection import (
 from repro.analysis.influence import (
     InfluenceStudy,
     cluster_event_sequences,
+    fit_cluster_influence,
     ground_truth_influence,
     influence_study,
     ks_significance_matrix,
@@ -76,6 +77,7 @@ __all__ = [
     "spread_latency_summary",
     "cluster_event_sequences",
     "influence_study",
+    "fit_cluster_influence",
     "ground_truth_influence",
     "InfluenceStudy",
     "ks_significance_matrix",

@@ -33,10 +33,12 @@ from repro.hawkes.attribution import (
 )
 from repro.hawkes.fit import FitConfig, fit_hawkes_em
 from repro.hawkes.model import EventSequence
+from repro.utils.parallel import Executor, ParallelConfig, resolve_parallel
 
 __all__ = [
     "InfluenceStudy",
     "cluster_event_sequences",
+    "fit_cluster_influence",
     "influence_study",
     "ground_truth_influence",
     "ks_significance_matrix",
@@ -100,16 +102,67 @@ class InfluenceStudy:
         return self.total.event_counts
 
 
+def fit_cluster_influence(
+    sequence: EventSequence,
+    n_processes: int,
+    fit_config: FitConfig | None = None,
+) -> tuple[str, InfluenceMatrices | str]:
+    """Fit one cluster's Hawkes model and attribute its root causes.
+
+    The per-cluster work item of :func:`influence_study`, extracted to
+    module level so process workers can run it on pickled sequences.
+    One pathological cluster (degenerate timestamps, singular EM update)
+    must not sink the whole study, so failure is part of the return
+    value rather than an exception: ``("ok", matrices)`` on success,
+    ``("error", message)`` on failure — mirroring the staged runner's
+    quarantine semantics.
+    """
+    try:
+        fit = fit_hawkes_em([sequence], n_processes, fit_config)
+        roots = attribute_root_causes(fit.model, sequence)
+    except Exception as error:
+        return ("error", f"{type(error).__name__}: {error}")
+    expected = np.zeros((n_processes, n_processes))
+    for destination in range(n_processes):
+        mask = sequence.processes == destination
+        if np.any(mask):
+            expected[:, destination] = roots[mask].sum(axis=0)
+    return (
+        "ok",
+        InfluenceMatrices(
+            expected_events=expected, event_counts=sequence.counts(n_processes)
+        ),
+    )
+
+
 def influence_study(
     result: PipelineResult,
     horizon: float,
     *,
     fit_config: FitConfig | None = None,
     min_events: int = 5,
+    parallel: ParallelConfig | None = None,
 ) -> InfluenceStudy:
-    """Fit per-cluster Hawkes models and aggregate root-cause influence."""
+    """Fit per-cluster Hawkes models and aggregate root-cause influence.
+
+    ``parallel`` fans the independent per-cluster fits out across
+    workers; the aggregation below always runs in the parent in the
+    deterministic cluster order, so totals and group sums are
+    bit-identical for any worker count.
+    """
     sequences = cluster_event_sequences(result, horizon, min_events=min_events)
     k = len(COMMUNITIES)
+    parallel = resolve_parallel(parallel)
+    keys = list(sequences)
+    if parallel.is_serial:
+        outcomes = [
+            fit_cluster_influence(sequences[key], k, fit_config) for key in keys
+        ]
+    else:
+        outcomes = Executor(parallel).starmap(
+            fit_cluster_influence,
+            [(sequences[key], k, fit_config) for key in keys],
+        )
     per_cluster: dict[ClusterKey, InfluenceMatrices] = {}
     total = InfluenceMatrices.zeros(k)
     groups = {
@@ -117,24 +170,11 @@ def influence_study(
         for name in ("racist", "non_racist", "politics", "non_politics")
     }
     failures: dict[ClusterKey, str] = {}
-    for key, sequence in sequences.items():
-        # One pathological cluster (degenerate timestamps, singular EM
-        # update) must not sink the whole study: isolate its failure and
-        # report it, mirroring the staged runner's quarantine semantics.
-        try:
-            fit = fit_hawkes_em([sequence], k, fit_config)
-            roots = attribute_root_causes(fit.model, sequence)
-        except Exception as error:
-            failures[key] = f"{type(error).__name__}: {error}"
+    for key, (status, value) in zip(keys, outcomes):
+        if status == "error":
+            failures[key] = value
             continue
-        expected = np.zeros((k, k))
-        for destination in range(k):
-            mask = sequence.processes == destination
-            if np.any(mask):
-                expected[:, destination] = roots[mask].sum(axis=0)
-        matrices = InfluenceMatrices(
-            expected_events=expected, event_counts=sequence.counts(k)
-        )
+        matrices = value
         per_cluster[key] = matrices
         total = total + matrices
         annotation = result.annotations[key]

@@ -15,6 +15,12 @@ import numpy as np
 
 from repro.hashing.index import MultiIndexHash
 from repro.annotation.matcher import DEFAULT_THETA
+from repro.utils.parallel import (
+    Executor,
+    ParallelConfig,
+    resolve_parallel,
+    shard_bounds,
+)
 
 __all__ = ["AssociationResult", "associate_hashes"]
 
@@ -49,11 +55,37 @@ class AssociationResult:
         return self.n_assigned / self.cluster_ids.size
 
 
+def _associate_unique_shard(
+    unique: np.ndarray,
+    id_array: np.ndarray,
+    medoid_array: np.ndarray,
+    theta: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest-medoid lookups for one shard of unique hashes.
+
+    Module-level so process workers can receive pickled shards; the
+    medoid index is rebuilt per shard (it is tiny — one entry per
+    annotated cluster).
+    """
+    index = MultiIndexHash(medoid_array)
+    unique_cluster = np.full(unique.size, UNASSIGNED, dtype=np.int64)
+    unique_distance = np.full(unique.size, -1, dtype=np.int64)
+    for u, value in enumerate(unique):
+        pairs = index.query(int(value), theta)
+        if not pairs:
+            continue
+        best_index, best_distance = min(pairs, key=lambda p: (p[1], p[0]))
+        unique_cluster[u] = id_array[best_index]
+        unique_distance[u] = best_distance
+    return unique_cluster, unique_distance
+
+
 def associate_hashes(
     hashes: np.ndarray,
     medoid_hashes: dict[int, np.uint64 | int],
     *,
     theta: int = DEFAULT_THETA,
+    parallel: ParallelConfig | None = None,
 ) -> AssociationResult:
     """Associate image pHashes to the nearest annotated-cluster medoid.
 
@@ -67,10 +99,14 @@ def associate_hashes(
     theta:
         Matching threshold (paper: 8).  Nearest medoid wins; ties break
         to the smallest cluster id for determinism.
+    parallel:
+        Optional executor config; unique hashes are sharded across
+        workers and results reassembled in order, identical to the
+        serial lookup for any worker count.
     """
     if theta < 0:
         raise ValueError("theta must be non-negative")
-    hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
+    hashes = np.ascontiguousarray(hashes, dtype=np.uint64).reshape(-1)
     n = hashes.size
     cluster_ids = np.full(n, UNASSIGNED, dtype=np.int64)
     distances = np.full(n, -1, dtype=np.int64)
@@ -80,18 +116,26 @@ def associate_hashes(
     ordered = sorted(medoid_hashes.items())
     id_array = np.array([cid for cid, _ in ordered], dtype=np.int64)
     medoid_array = np.array([h for _, h in ordered], dtype=np.uint64)
-    index = MultiIndexHash(medoid_array)
 
     unique, inverse = np.unique(hashes, return_inverse=True)
-    unique_cluster = np.full(unique.size, UNASSIGNED, dtype=np.int64)
-    unique_distance = np.full(unique.size, -1, dtype=np.int64)
-    for u, value in enumerate(unique):
-        pairs = index.query(int(value), theta)
-        if not pairs:
-            continue
-        best_index, best_distance = min(pairs, key=lambda p: (p[1], p[0]))
-        unique_cluster[u] = id_array[best_index]
-        unique_distance[u] = best_distance
+    # numpy >= 2.0 shapes return_inverse like the input; flatten so the
+    # memoised scatter below works on both 1.26 and 2.x.
+    inverse = inverse.reshape(-1)
+    parallel = resolve_parallel(parallel)
+    if parallel.is_serial or unique.size < parallel.workers * 2:
+        unique_cluster, unique_distance = _associate_unique_shard(
+            unique, id_array, medoid_array, theta
+        )
+    else:
+        parts = Executor(parallel).starmap(
+            _associate_unique_shard,
+            [
+                (unique[start:stop], id_array, medoid_array, theta)
+                for start, stop in shard_bounds(unique.size, parallel)
+            ],
+        )
+        unique_cluster = np.concatenate([part[0] for part in parts])
+        unique_distance = np.concatenate([part[1] for part in parts])
 
     cluster_ids[:] = unique_cluster[inverse]
     distances[:] = unique_distance[inverse]

@@ -24,6 +24,14 @@ valid checkpoints instead of recomputing completed stages) and
 
     python -m repro --checkpoint-dir ckpt report      # killed mid-run?
     python -m repro --checkpoint-dir ckpt --resume report
+
+``--workers N`` fans the hot paths (clustering neighbourhoods,
+association, per-cluster Hawkes fits) out over N workers;
+``--parallel-backend`` picks ``thread`` or ``process`` (default
+``auto`` = process for N > 1).  Output is bit-identical for any worker
+count::
+
+    python -m repro --workers 4 report
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ from repro.communities import (
     WorldConfig,
 )
 from repro.core import PipelineConfig, RunnerOptions, RunnerPolicy, run_pipeline
+from repro.utils.parallel import BACKENDS, ParallelConfig
 from repro.utils.tables import print_table
 
 __all__ = ["main", "build_parser"]
@@ -88,11 +97,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries per stage item on transient failures",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel workers for the hot paths (default: REPRO_WORKERS "
+        "env var, else 1 = serial; output is identical for any value)",
+    )
+    parser.add_argument(
+        "--parallel-backend",
+        choices=BACKENDS,
+        default=None,
+        help="executor backend for --workers (auto = process when "
+        "workers > 1)",
+    )
+    parser.add_argument(
         "command",
         choices=("overview", "top", "influence", "clusters", "report"),
         help="what to print",
     )
     return parser
+
+
+def _parallel_config(args) -> ParallelConfig | None:
+    """Explicit flags win; ``None`` defers to the environment/serial."""
+    if args.workers is None and args.parallel_backend is None:
+        return None
+    return ParallelConfig(
+        workers=args.workers if args.workers is not None else 1,
+        backend=args.parallel_backend or "auto",
+    )
 
 
 def _world_and_pipeline(args):
@@ -109,6 +142,7 @@ def _world_and_pipeline(args):
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         policy=RunnerPolicy(max_retries=args.max_retries),
+        parallel=_parallel_config(args),
     )
     result = run_pipeline(world, PipelineConfig(), options=options)
     if args.checkpoint_dir or result.degraded:
@@ -169,9 +203,11 @@ def _print_top(world, result) -> None:
     )
 
 
-def _print_influence(world, result) -> None:
+def _print_influence(world, result, parallel=None) -> None:
     print("Fitting Hawkes models per cluster...\n")
-    study = influence_study(result, world.config.horizon_days, min_events=10)
+    study = influence_study(
+        result, world.config.horizon_days, min_events=10, parallel=parallel
+    )
     truth = ground_truth_influence(world)
 
     def matrix_rows(matrix):
@@ -224,6 +260,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--resume requires --checkpoint-dir")
     if args.max_retries < 0:
         parser.error("--max-retries must be >= 0")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
     np.set_printoptions(precision=2, suppress=True)
     world, result = _world_and_pipeline(args)
     if args.command in ("overview", "report"):
@@ -233,5 +271,5 @@ def main(argv: list[str] | None = None) -> int:
     if args.command in ("clusters", "report"):
         _print_clusters(result)
     if args.command in ("influence", "report"):
-        _print_influence(world, result)
+        _print_influence(world, result, parallel=_parallel_config(args))
     return 0

@@ -34,8 +34,15 @@ def cluster_community(
     community: str,
     posts: list[Post],
     config: PipelineConfig,
+    *,
+    parallel=None,
 ) -> CommunityClustering:
-    """Steps 2-3 for one fringe community's image multiset."""
+    """Steps 2-3 for one fringe community's image multiset.
+
+    ``parallel`` (a :class:`repro.utils.parallel.ParallelConfig`) shards
+    the radius-neighbourhood computation; labels are identical for any
+    worker count.
+    """
     image_hashes = np.array(
         [post.phash for post in posts if post.community == community],
         dtype=np.uint64,
@@ -58,6 +65,7 @@ def cluster_community(
         min_samples=config.clustering_min_samples,
         method=config.neighbor_method,
         counts=counts,
+        parallel=parallel,
     )
     medoid_positions = medoids_by_cluster(unique, result.labels, counts)
     medoids = {

@@ -42,7 +42,11 @@ from typing import Callable
 import numpy as np
 
 from repro.communities.models import FRINGE_COMMUNITIES
-from repro.annotation.association import associate_hashes
+from repro.annotation.association import (
+    UNASSIGNED,
+    AssociationResult,
+    associate_hashes,
+)
 from repro.annotation.matcher import annotate_clusters
 from repro.clustering.dbscan import dbscan
 from repro.core.config import PipelineConfig, RunnerPolicy
@@ -55,11 +59,23 @@ from repro.core.results import (
     StageReport,
 )
 from repro.utils.io import CheckpointError, load_checkpoint, save_checkpoint
+from repro.utils.parallel import Executor, ParallelConfig, resolve_parallel
 from repro.utils.retry import RetryPolicy, retry_call
 
 __all__ = ["PipelineRunner", "RunnerOptions", "StageFailure", "STAGES"]
 
 STAGES = ("cluster", "screenshot-filter", "annotate", "associate")
+
+
+def _associate_community_shard(
+    hashes: np.ndarray, medoid_by_global: dict[int, int], theta: int
+) -> AssociationResult:
+    """Associate one community's post hashes; module-level so process
+    workers can receive the pickled shard.  The inner lookup stays
+    serial — the fan-out already happened at the community level."""
+    return associate_hashes(
+        hashes, medoid_by_global, theta=theta, parallel=ParallelConfig()
+    )
 
 
 class StageFailure(RuntimeError):
@@ -92,6 +108,13 @@ class RunnerOptions:
         Seed for seed-dependent stages (the screenshot classifier).
         ``None`` takes the world's own ``config.seed``, falling back
         to 0 — this is what threads the world seed into Step 4.
+    parallel:
+        Executor config for the hot paths (clustering neighbourhoods,
+        per-community association).  ``None`` falls back to the
+        ``REPRO_WORKERS``/``REPRO_PARALLEL_BACKEND`` environment, then
+        to serial.  Results are bit-identical for any worker count, so
+        checkpoints written under different worker counts are
+        interchangeable (the fingerprint deliberately excludes this).
     """
 
     checkpoint_dir: str | Path | None = None
@@ -100,6 +123,7 @@ class RunnerOptions:
     faults: FaultInjector | None = None
     sleep: Callable[[float], None] | None = None
     seed: int | None = None
+    parallel: ParallelConfig | None = None
 
 
 class PipelineRunner:
@@ -122,6 +146,7 @@ class PipelineRunner:
         self.world = world
         self.config = config or PipelineConfig()
         self.options = options or RunnerOptions()
+        self.parallel = resolve_parallel(self.options.parallel)
         self.reports: list[StageReport] = []
 
     # ------------------------------------------------------------------
@@ -262,7 +287,10 @@ class PipelineRunner:
                     report,
                     site,
                     lambda community=community: cluster_community(
-                        community, self.world.posts, self.config
+                        community,
+                        self.world.posts,
+                        self.config,
+                        parallel=self.parallel,
                     ),
                 )
             except Exception as error:
@@ -372,6 +400,39 @@ class PipelineRunner:
                 cluster_keys.append(key)
         return {"annotations": annotations, "cluster_keys": cluster_keys}
 
+    def _associate_all(
+        self, all_hashes: np.ndarray, medoid_by_global: dict[int, int]
+    ):
+        """Step 6's association, sharded per community when parallel.
+
+        Each post's match depends only on its own hash, so splitting the
+        post set by community and stitching the per-community results
+        back into post order is bit-identical to one global call — the
+        communities are the natural shards (the paper associates each
+        platform's crawl independently too).
+        """
+        if self.parallel.is_serial:
+            return associate_hashes(
+                all_hashes, medoid_by_global, theta=self.config.theta
+            )
+        groups: dict[str, list[int]] = {}
+        for position, post in enumerate(self.world.posts):
+            groups.setdefault(post.community, []).append(position)
+        ordered = [np.asarray(idx, dtype=np.int64) for idx in groups.values()]
+        results = Executor(self.parallel).starmap(
+            _associate_community_shard,
+            [
+                (all_hashes[idx], medoid_by_global, self.config.theta)
+                for idx in ordered
+            ],
+        )
+        cluster_ids = np.full(all_hashes.size, UNASSIGNED, dtype=np.int64)
+        distances = np.full(all_hashes.size, -1, dtype=np.int64)
+        for idx, part in zip(ordered, results):
+            cluster_ids[idx] = part.cluster_ids
+            distances[idx] = part.distances
+        return AssociationResult(cluster_ids=cluster_ids, distances=distances)
+
     def _associate_stage(
         self,
         report: StageReport,
@@ -388,9 +449,7 @@ class PipelineRunner:
             all_hashes = np.array(
                 [post.phash for post in self.world.posts], dtype=np.uint64
             )
-            association = associate_hashes(
-                all_hashes, medoid_by_global, theta=self.config.theta
-            )
+            association = self._associate_all(all_hashes, medoid_by_global)
             matched = association.cluster_ids >= 0
             matched_posts = [
                 post for post, hit in zip(self.world.posts, matched) if hit

@@ -21,9 +21,9 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.utils.bitops import hamming_distance, hamming_to_many
+from repro.utils.bitops import hamming_distance, hamming_to_many, popcount
 
-__all__ = ["BKTree", "MultiIndexHash"]
+__all__ = ["BKTree", "MultiIndexHash", "mih_neighbors_shard"]
 
 
 class _BKNode:
@@ -160,13 +160,79 @@ class MultiIndexHash:
         return list(zip(idx[keep].tolist(), distances[keep].tolist()))
 
     def query_indices(self, value: int, radius: int) -> np.ndarray:
-        """Like :meth:`query` but returns a sorted index array only."""
+        """Like :meth:`query` but returns a sorted, duplicate-free index array.
+
+        The candidate probes emit indices in arbitrary set order;
+        ``np.unique`` pins the documented contract (sorted ascending, no
+        duplicates) so downstream consumers — DBSCAN's breadth-first
+        expansion in particular — see a canonical neighbour order.
+        """
         pairs = self.query(value, radius)
-        return np.array(sorted(i for i, _ in pairs), dtype=np.int64)
+        if not pairs:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(
+            np.fromiter((i for i, _ in pairs), dtype=np.int64, count=len(pairs))
+        )
 
     def radius_neighbors(self, radius: int) -> list[np.ndarray]:
-        """Neighbour lists (self included) for every indexed hash."""
+        """Neighbour lists (sorted, self included) for every indexed hash."""
         return [
             self.query_indices(int(self.hashes[i]), radius)
             for i in range(self.hashes.size)
         ]
+
+
+def mih_neighbors_shard(
+    hashes: np.ndarray, start: int, stop: int, radius: int
+) -> list[np.ndarray]:
+    """Self-join MIH neighbour lists for the query range ``start:stop``.
+
+    The shard kernel behind the parallel ``radius_neighbors`` path:
+    module-level (process workers receive the pickled ``uint64`` shard
+    arguments), and output-identical to calling
+    ``MultiIndexHash(hashes).query_indices(...)`` per query — sorted,
+    duplicate-free, self included.
+
+    Unlike the per-query path it amortises bucket gathering: per-chunk
+    byte groups are materialised once with a vectorised argsort instead
+    of Python dict buckets, the candidate array for a (chunk, byte
+    value) pair is cached across queries (cluster members share chunk
+    bytes), and verification runs popcount over the concatenated
+    candidates before deduplicating only the survivors.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
+    n_chunks = MultiIndexHash.N_CHUNKS
+    per_chunk = radius // n_chunks
+    chunk_values = hashes.view(np.uint8).reshape(-1, n_chunks)
+    all_bytes = np.arange(256)
+    groups: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for c in range(n_chunks):
+        order = np.argsort(chunk_values[:, c], kind="stable").astype(np.int64)
+        sorted_bytes = chunk_values[order, c]
+        left = np.searchsorted(sorted_bytes, all_bytes, side="left")
+        right = np.searchsorted(sorted_bytes, all_bytes, side="right")
+        groups.append((order, left, right))
+    balls = [_bytes_within(value, per_chunk) for value in range(256)]
+    cache: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+    out: list[np.ndarray] = []
+    for i in range(start, stop):
+        index_parts: list[np.ndarray] = []
+        value_parts: list[np.ndarray] = []
+        for c in range(n_chunks):
+            key = (c, int(chunk_values[i, c]))
+            entry = cache.get(key)
+            if entry is None:
+                order, left, right = groups[c]
+                candidate = np.concatenate(
+                    [order[left[probe] : right[probe]] for probe in balls[key[1]]]
+                )
+                entry = (candidate, hashes[candidate])
+                cache[key] = entry
+            index_parts.append(entry[0])
+            value_parts.append(entry[1])
+        candidates = np.concatenate(index_parts)
+        distances = popcount(np.concatenate(value_parts) ^ hashes[i])
+        out.append(np.unique(candidates[distances <= radius]))
+    return out

@@ -4,7 +4,9 @@ The paper performed all-pairs comparisons of millions of pHashes on a
 TensorFlow multi-GPU rig.  This module provides the same contract at
 laptop scale: chunked numpy broadcasting for dense matrices and
 index-accelerated radius neighbourhoods (the only thing DBSCAN actually
-needs) via :class:`repro.hashing.index.MultiIndexHash`.
+needs) via :class:`repro.hashing.index.MultiIndexHash`.  Both paths
+shard across workers when a :class:`repro.utils.parallel.ParallelConfig`
+asks for it, with output identical to the serial computation.
 """
 
 from __future__ import annotations
@@ -13,8 +15,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.hashing.index import MultiIndexHash
+from repro.hashing.index import MultiIndexHash, mih_neighbors_shard
 from repro.utils.bitops import hamming_distance_matrix
+from repro.utils.parallel import (
+    Executor,
+    ParallelConfig,
+    resolve_parallel,
+    shard_bounds,
+)
 
 __all__ = [
     "PairwiseResult",
@@ -33,7 +41,10 @@ class PairwiseResult:
     distances:
         ``(n, m)`` int64 Hamming distance matrix.
     n_comparisons:
-        Number of hash pairs compared (``n * m``).
+        Number of *distinct* hash pairs compared: ``n * (n - 1) // 2``
+        for a self-comparison (the matrix is symmetric with a zero
+        diagonal, matching the paper's Table-1-style "pairs compared"
+        statistic), ``n * m`` for a cross-comparison.
     """
 
     distances: np.ndarray
@@ -45,12 +56,33 @@ def pairwise_distances(
     b: np.ndarray | None = None,
     *,
     chunk_size: int = 4096,
+    parallel: ParallelConfig | None = None,
 ) -> PairwiseResult:
     """Dense all-pairs Hamming distances between hash sets ``a`` and ``b``."""
     a = np.ascontiguousarray(a, dtype=np.uint64)
-    b_arr = a if b is None else np.ascontiguousarray(b, dtype=np.uint64)
-    matrix = hamming_distance_matrix(a, b_arr, chunk_size=chunk_size)
-    return PairwiseResult(distances=matrix, n_comparisons=int(a.size * b_arr.size))
+    self_comparison = b is None
+    b_arr = a if self_comparison else np.ascontiguousarray(b, dtype=np.uint64)
+    matrix = hamming_distance_matrix(
+        a, b_arr, chunk_size=chunk_size, parallel=parallel
+    )
+    n = int(a.size)
+    n_comparisons = (
+        n * (n - 1) // 2 if self_comparison else n * int(b_arr.size)
+    )
+    return PairwiseResult(distances=matrix, n_comparisons=n_comparisons)
+
+
+def _brute_neighbors_shard(
+    hashes: np.ndarray, start: int, stop: int, radius: int
+) -> list[np.ndarray]:
+    """Brute-force neighbour lists for the query range ``start:stop``.
+
+    Module-level so process workers can receive pickled shards.
+    """
+    matrix = hamming_distance_matrix(
+        hashes[start:stop], hashes, parallel=ParallelConfig()
+    )
+    return [np.flatnonzero(row <= radius) for row in matrix]
 
 
 def radius_neighbors(
@@ -59,6 +91,7 @@ def radius_neighbors(
     *,
     method: str = "auto",
     brute_force_limit: int = 2000,
+    parallel: ParallelConfig | None = None,
 ) -> list[np.ndarray]:
     """Neighbour lists within ``radius`` for every hash (self included).
 
@@ -73,12 +106,18 @@ def radius_neighbors(
         hashing; ``"auto"`` picks by collection size.
     brute_force_limit:
         ``auto`` switches to MIH above this many hashes.
+    parallel:
+        Optional :class:`repro.utils.parallel.ParallelConfig`.  Queries
+        are sharded over contiguous ranges and reassembled in range
+        order; both methods return results identical to the serial path
+        for any worker count and backend.
 
     Returns
     -------
     list of numpy.ndarray
-        ``result[i]`` holds the sorted indices ``j`` with
-        ``hamming(hashes[i], hashes[j]) <= radius``; always contains ``i``.
+        ``result[i]`` holds the sorted, duplicate-free indices ``j``
+        with ``hamming(hashes[i], hashes[j]) <= radius``; always
+        contains ``i``.
     """
     if radius < 0:
         raise ValueError("radius must be non-negative")
@@ -89,10 +128,21 @@ def radius_neighbors(
         method = "brute" if hashes.size <= brute_force_limit else "mih"
     if hashes.size == 0:
         return []
-    if method == "brute":
-        matrix = hamming_distance_matrix(hashes)
-        return [np.flatnonzero(row <= radius) for row in matrix]
-    return MultiIndexHash(hashes).radius_neighbors(radius)
+    parallel = resolve_parallel(parallel)
+    if parallel.is_serial or hashes.size < parallel.workers * 2:
+        if method == "brute":
+            matrix = hamming_distance_matrix(hashes, parallel=ParallelConfig())
+            return [np.flatnonzero(row <= radius) for row in matrix]
+        return MultiIndexHash(hashes).radius_neighbors(radius)
+    shard_fn = _brute_neighbors_shard if method == "brute" else mih_neighbors_shard
+    shards = Executor(parallel).starmap(
+        shard_fn,
+        [
+            (hashes, start, stop, radius)
+            for start, stop in shard_bounds(hashes.size, parallel)
+        ],
+    )
+    return [row for shard in shards for row in shard]
 
 
 def unique_hashes(hashes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -104,9 +154,15 @@ def unique_hashes(hashes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarra
     Returns
     -------
     (unique, inverse, counts):
-        ``unique`` sorted unique hashes; ``inverse`` maps each input row to
-        its position in ``unique``; ``counts`` is the multiplicity of each
-        unique hash.
+        ``unique`` sorted unique hashes; ``inverse`` maps each input row
+        to its position in ``unique``; ``counts`` is the multiplicity of
+        each unique hash.  ``inverse`` is always 1-D: numpy >= 2.0
+        changed ``return_inverse`` to follow the input's shape for
+        multi-dimensional inputs, so both the input and the inverse are
+        explicitly flattened to keep 1.26 and 2.x behaviour identical.
     """
-    hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
-    return np.unique(hashes, return_inverse=True, return_counts=True)
+    hashes = np.ascontiguousarray(hashes, dtype=np.uint64).reshape(-1)
+    unique, inverse, counts = np.unique(
+        hashes, return_inverse=True, return_counts=True
+    )
+    return unique, inverse.reshape(-1), counts

@@ -22,6 +22,14 @@ from repro.utils.io import (
     save_checkpoint,
     save_posts,
 )
+from repro.utils.parallel import (
+    Executor,
+    ParallelConfig,
+    parallel_map,
+    parallel_starmap,
+    resolve_parallel,
+    shard_bounds,
+)
 from repro.utils.retry import RetryOutcome, RetryPolicy, TransientError, retry_call
 from repro.utils.rng import RngStream, derive_rng
 from repro.utils.svgplot import LineChart, Series
@@ -46,6 +54,12 @@ __all__ = [
     "StaleCheckpointError",
     "save_checkpoint",
     "load_checkpoint",
+    "Executor",
+    "ParallelConfig",
+    "parallel_map",
+    "parallel_starmap",
+    "resolve_parallel",
+    "shard_bounds",
     "RetryPolicy",
     "RetryOutcome",
     "TransientError",

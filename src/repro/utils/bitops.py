@@ -25,6 +25,10 @@ HASH_BITS = 64
 # Popcounts of every byte value; uint8 so sums stay compact.
 _POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
 
+# numpy >= 2.0 exposes the native POPCNT ufunc; the byte-table fallback
+# keeps numpy 1.26 working with identical results.
+_HAS_NATIVE_POPCOUNT = hasattr(np, "bitwise_count")
+
 
 def pack_bits(bits: np.ndarray) -> np.uint64:
     """Pack a length-64 0/1 array into one ``uint64`` (bit 0 = MSB).
@@ -58,11 +62,14 @@ def popcount(values: np.ndarray | np.uint64 | int) -> np.ndarray | int:
     """
     arr = np.asarray(values, dtype=np.uint64)
     scalar = arr.ndim == 0
-    bytes_view = arr.reshape(-1).view(np.uint8).reshape(-1, 8)
-    counts = _POPCOUNT8[bytes_view].sum(axis=1).astype(np.int64)
-    counts = counts.reshape(arr.shape) if not scalar else counts
+    if _HAS_NATIVE_POPCOUNT:
+        counts = np.bitwise_count(arr).astype(np.int64)
+    else:
+        bytes_view = arr.reshape(-1).view(np.uint8).reshape(-1, 8)
+        counts = _POPCOUNT8[bytes_view].sum(axis=1).astype(np.int64)
+        counts = counts.reshape(arr.shape)
     if scalar:
-        return int(counts[0])
+        return int(counts)
     return counts
 
 
@@ -111,17 +118,38 @@ def flip_random_bits(
     return np.uint64(result)
 
 
+def _matrix_rows(
+    a: np.ndarray, b: np.ndarray, chunk_size: int
+) -> np.ndarray:
+    """Dense distance rows for one shard of ``a`` against all of ``b``.
+
+    Module-level so process workers can receive pickled shards.
+    """
+    out = np.empty((a.size, b.size), dtype=np.int64)
+    for start in range(0, a.size, chunk_size):
+        stop = min(start + chunk_size, a.size)
+        xored = a[start:stop, None] ^ b[None, :]
+        if _HAS_NATIVE_POPCOUNT:
+            out[start:stop] = np.bitwise_count(xored)
+        else:
+            bytes_view = xored.view(np.uint8).reshape(stop - start, b.size, 8)
+            out[start:stop] = _POPCOUNT8[bytes_view].sum(axis=2, dtype=np.int64)
+    return out
+
+
 def hamming_distance_matrix(
     a: np.ndarray,
     b: np.ndarray | None = None,
     *,
     chunk_size: int = 4096,
+    parallel=None,
 ) -> np.ndarray:
     """All-pairs Hamming distances between two sets of 64-bit hashes.
 
     This is the reproduction of the paper's Step 2 (the TensorFlow
     multi-GPU pairwise engine), reduced to chunked numpy broadcasting.
-    Memory stays bounded at ``chunk_size * len(b) * 8`` bytes per chunk.
+    Memory stays bounded at ``chunk_size * len(b) * 8`` bytes per chunk
+    per worker.
 
     Parameters
     ----------
@@ -130,18 +158,25 @@ def hamming_distance_matrix(
         ``a`` vs itself.
     chunk_size:
         Rows of ``a`` processed per broadcast step.
+    parallel:
+        Optional :class:`repro.utils.parallel.ParallelConfig`; rows of
+        ``a`` are sharded across workers and reassembled in order, so
+        the result is identical to the serial computation.
 
     Returns
     -------
     numpy.ndarray
         ``(len(a), len(b))`` matrix of ``int64`` distances.
     """
+    from repro.utils.parallel import Executor, resolve_parallel, shard_bounds
+
     a = np.ascontiguousarray(a, dtype=np.uint64)
     b = a if b is None else np.ascontiguousarray(b, dtype=np.uint64)
-    out = np.empty((a.size, b.size), dtype=np.int64)
-    for start in range(0, a.size, chunk_size):
-        stop = min(start + chunk_size, a.size)
-        xored = a[start:stop, None] ^ b[None, :]
-        bytes_view = xored.view(np.uint8).reshape(stop - start, b.size, 8)
-        out[start:stop] = _POPCOUNT8[bytes_view].sum(axis=2, dtype=np.int64)
-    return out
+    parallel = resolve_parallel(parallel)
+    if parallel.is_serial or a.size < parallel.workers * 2:
+        return _matrix_rows(a, b, chunk_size)
+    shards = Executor(parallel).starmap(
+        _matrix_rows,
+        [(a[start:stop], b, chunk_size) for start, stop in shard_bounds(a.size, parallel)],
+    )
+    return np.concatenate(shards, axis=0)

@@ -117,6 +117,44 @@ class TestDbscanImages:
         assert list(labels[:6]) == [0] * 6
         assert labels[6] == NOISE
 
+    def test_multidim_input_yields_flat_labels(self):
+        # Regression: numpy >= 2.0 shapes np.unique's return_inverse
+        # like the input, so a 2-D image array used to produce 2-D
+        # image labels downstream.  dbscan_images flattens explicitly.
+        images = np.array([[7, 7, 7], [7, 7, 2**40]], dtype=np.uint64)
+        result, unique, labels = dbscan_images(images, eps=0, min_samples=5)
+        assert labels.ndim == 1
+        assert labels.shape == (6,)
+        assert list(labels[:5]) == [0] * 5
+        assert labels[5] == NOISE
+
+
+class TestVectorizedCoreMask:
+    def test_empty_neighbor_lists(self):
+        # The cumsum-based core mask must handle points with empty
+        # neighbour rows (np.add.reduceat would mishandle these).
+        neighbors = [
+            np.array([0, 1], dtype=np.int64),
+            np.array([0, 1], dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        ]
+        result = dbscan_from_neighbors(neighbors, min_samples=2)
+        assert list(result.core_mask) == [True, True, False]
+        assert result.labels[2] == NOISE
+
+    def test_matches_per_point_loop(self):
+        rng = np.random.default_rng(11)
+        hashes = rng.integers(0, 2**12, size=60, dtype=np.uint64)
+        counts = rng.integers(1, 4, size=60)
+        from repro.hashing.pairwise import radius_neighbors
+
+        neighbors = radius_neighbors(hashes, 3)
+        result = dbscan_from_neighbors(neighbors, min_samples=4, counts=counts)
+        expected = np.array(
+            [counts[row].sum() >= 4 for row in neighbors], dtype=bool
+        )
+        assert np.array_equal(result.core_mask, expected)
+
 
 class TestInvariants:
     @settings(max_examples=20, deadline=None)

@@ -11,6 +11,21 @@ from repro.hashing.pairwise import (
     unique_hashes,
 )
 from repro.utils.bitops import hamming_distance
+from repro.utils.parallel import ParallelConfig
+
+
+def clustered_hashes(n_bases: int, members: int, seed: int = 0) -> np.ndarray:
+    """Clustered workload: bases with up to 3 low-bit flips per member."""
+    rng = np.random.default_rng(seed)
+    bases = rng.integers(0, 2**64, size=n_bases, dtype=np.uint64)
+    out = np.repeat(bases, members)
+    flips = rng.integers(0, 4, size=out.size)
+    for bit in range(3):
+        mask = flips > bit
+        out[mask] ^= np.uint64(1) << rng.integers(
+            0, 64, size=out.size, dtype=np.uint64
+        )[mask].astype(np.uint64)
+    return out
 
 
 class TestPairwiseDistances:
@@ -18,8 +33,15 @@ class TestPairwiseDistances:
         hashes = np.array([1, 2, 3], dtype=np.uint64)
         result = pairwise_distances(hashes)
         assert result.distances.shape == (3, 3)
-        assert result.n_comparisons == 9
+        # Regression: the symmetric self-comparison counts distinct
+        # pairs (n choose 2), not the full n*n matrix — the paper's
+        # Table-1-style "pairs compared" statistic.
+        assert result.n_comparisons == 3
         assert np.all(np.diag(result.distances) == 0)
+
+    def test_self_comparison_pair_count_degenerate_sizes(self):
+        assert pairwise_distances(np.array([], dtype=np.uint64)).n_comparisons == 0
+        assert pairwise_distances(np.array([7], dtype=np.uint64)).n_comparisons == 0
 
     def test_cross_comparison(self):
         a = np.array([0], dtype=np.uint64)
@@ -80,6 +102,39 @@ class TestRadiusNeighbors:
             }
             assert set(neighbors[i].tolist()) == expected
 
+    @settings(max_examples=25)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=12),
+    )
+    def test_brute_and_mih_agree_element_for_element(self, values, radius):
+        # Regression: MIH used to return unsorted rows with duplicates
+        # (one per matching chunk).  The contract is now identical to
+        # brute force — sorted, duplicate-free, self included — so the
+        # rows must match element for element, not just as sets.
+        hashes = np.array(values, dtype=np.uint64)
+        brute = radius_neighbors(hashes, radius, method="brute")
+        mih = radius_neighbors(hashes, radius, method="mih")
+        for i, (row_b, row_m) in enumerate(zip(brute, mih)):
+            assert np.array_equal(row_b, row_m)
+            assert np.array_equal(row_m, np.unique(row_m))  # sorted, no dups
+            assert i in row_m  # self included
+
+    @pytest.mark.parametrize("method", ["brute", "mih"])
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_matches_serial(self, method, backend):
+        hashes = clustered_hashes(40, 5, seed=3)
+        serial = radius_neighbors(hashes, 8, method=method)
+        parallel = radius_neighbors(
+            hashes,
+            8,
+            method=method,
+            parallel=ParallelConfig(workers=4, backend=backend),
+        )
+        assert len(serial) == len(parallel)
+        for row_s, row_p in zip(serial, parallel):
+            assert np.array_equal(row_s, row_p)
+
     def test_auto_switches_to_mih(self):
         rng = np.random.default_rng(2)
         hashes = rng.integers(0, 2**64, size=50, dtype=np.uint64)
@@ -96,3 +151,13 @@ class TestUniqueHashes:
         assert list(unique) == [3, 5, 9]
         assert list(counts) == [2, 3, 1]
         assert np.array_equal(unique[inverse], hashes)
+
+    def test_inverse_is_flat_for_multidim_input(self):
+        # numpy >= 2.0 shapes np.unique's return_inverse like the input
+        # array; unique_hashes must normalise it so downstream fancy
+        # indexing (labels[inverse]) stays 1-D on numpy 1.26 and 2.x.
+        hashes = np.array([[5, 3], [5, 9]], dtype=np.uint64)
+        unique, inverse, counts = unique_hashes(hashes)
+        assert inverse.ndim == 1
+        assert inverse.shape == (4,)
+        assert np.array_equal(unique[inverse], hashes.reshape(-1))

@@ -1,0 +1,91 @@
+"""Property tests: parallel runs are bit-identical to serial runs.
+
+The ISSUE-2 contract for the parallel layer is *bit-identity*, not
+"statistically the same": labels, associations and Hawkes influence
+matrices produced under ``--workers 4`` must equal the serial output
+exactly, for both the thread and process backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import influence_study
+from repro.core import PipelineConfig, RunnerOptions, run_pipeline
+from repro.utils.parallel import ParallelConfig
+
+BACKENDS = ("thread", "process")
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def parallel_result(request, world):
+    """The full pipeline under 4 workers on the session world."""
+    options = RunnerOptions(
+        parallel=ParallelConfig(workers=4, backend=request.param)
+    )
+    return run_pipeline(world, PipelineConfig(), options=options)
+
+
+class TestPipelineIdentity:
+    def test_cluster_labels_identical(self, pipeline_result, parallel_result):
+        assert set(parallel_result.clusterings) == set(
+            pipeline_result.clusterings
+        )
+        for community, serial in pipeline_result.clusterings.items():
+            par = parallel_result.clusterings[community]
+            assert np.array_equal(par.unique_hashes, serial.unique_hashes)
+            assert np.array_equal(par.result.labels, serial.result.labels)
+            assert np.array_equal(
+                par.result.core_mask, serial.result.core_mask
+            )
+            assert par.medoids == serial.medoids
+
+    def test_annotations_identical(self, pipeline_result, parallel_result):
+        assert parallel_result.cluster_keys == pipeline_result.cluster_keys
+        assert set(parallel_result.annotations) == set(
+            pipeline_result.annotations
+        )
+        for key, serial in pipeline_result.annotations.items():
+            assert parallel_result.annotations[key] == serial
+
+    def test_associations_identical(self, pipeline_result, parallel_result):
+        serial = pipeline_result.occurrences
+        par = parallel_result.occurrences
+        assert par.posts == serial.posts
+        assert np.array_equal(par.cluster_indices, serial.cluster_indices)
+        assert par.entry_names == serial.entry_names
+        assert np.array_equal(par.is_racist, serial.is_racist)
+        assert np.array_equal(par.is_politics, serial.is_politics)
+
+
+class TestInfluenceIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_hawkes_matrices_identical(
+        self, world, pipeline_result, backend
+    ):
+        serial = influence_study(
+            pipeline_result, world.config.horizon_days, min_events=10
+        )
+        par = influence_study(
+            pipeline_result,
+            world.config.horizon_days,
+            min_events=10,
+            parallel=ParallelConfig(workers=4, backend=backend),
+        )
+        assert np.array_equal(
+            par.total.expected_events, serial.total.expected_events
+        )
+        assert np.array_equal(
+            par.total.event_counts, serial.total.event_counts
+        )
+        assert set(par.per_cluster) == set(serial.per_cluster)
+        for key, matrices in serial.per_cluster.items():
+            assert np.array_equal(
+                par.per_cluster[key].expected_events, matrices.expected_events
+            )
+        for name, group in serial.groups.items():
+            assert np.array_equal(
+                par.groups[name].expected_events, group.expected_events
+            )
+        assert par.failures == serial.failures

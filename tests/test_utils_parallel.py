@@ -1,0 +1,168 @@
+"""Tests for the parallel execution layer (executor, shards, env config)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.parallel import (
+    BACKENDS,
+    ENV_BACKEND,
+    ENV_WORKERS,
+    Executor,
+    ParallelConfig,
+    parallel_map,
+    parallel_starmap,
+    resolve_parallel,
+    shard_bounds,
+)
+
+ALL_BACKENDS = ("serial", "thread", "process")
+
+
+# Module-level so the process backend can pickle them.
+def _square(x):
+    return x * x
+
+
+def _slow_identity(x):
+    # Later submissions sleep less, so completion order inverts
+    # submission order — results must still come back in submission order.
+    time.sleep(0.05 - 0.004 * x)
+    return x
+
+
+def _boom(x):
+    raise ValueError(f"worker failed on {x}")
+
+
+def _add(a, b):
+    return a + b
+
+
+class TestParallelConfig:
+    def test_defaults_are_serial(self):
+        config = ParallelConfig()
+        assert config.workers == 1
+        assert config.is_serial
+        assert config.resolved_backend() == "serial"
+
+    def test_auto_resolves_to_process_for_many_workers(self):
+        config = ParallelConfig(workers=4)
+        assert config.resolved_backend() == "process"
+        assert not config.is_serial
+
+    def test_explicit_serial_backend_wins_over_workers(self):
+        assert ParallelConfig(workers=8, backend="serial").is_serial
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(workers=0)
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(backend="gpu")
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(chunk_size=0)
+
+    def test_backends_constant_covers_all(self):
+        assert set(ALL_BACKENDS) <= set(BACKENDS)
+
+
+class TestEnvResolution:
+    def test_unset_env_is_serial(self):
+        config = ParallelConfig.from_env(env={})
+        assert config.workers == 1 and config.is_serial
+
+    def test_env_workers_and_backend(self):
+        config = ParallelConfig.from_env(
+            env={ENV_WORKERS: "3", ENV_BACKEND: "thread"}
+        )
+        assert config.workers == 3
+        assert config.resolved_backend() == "thread"
+
+    def test_malformed_env_falls_back_to_serial(self):
+        config = ParallelConfig.from_env(
+            env={ENV_WORKERS: "many", ENV_BACKEND: "gpu"}
+        )
+        assert config.workers == 1 and config.backend == "auto"
+
+    def test_resolve_prefers_explicit_config(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "7")
+        explicit = ParallelConfig(workers=2)
+        assert resolve_parallel(explicit) is explicit
+        assert resolve_parallel(None).workers == 7
+
+
+class TestShardBounds:
+    def test_empty(self):
+        assert shard_bounds(0, ParallelConfig(workers=4)) == []
+
+    def test_covers_range_without_overlap(self):
+        for n in (1, 5, 17, 100):
+            for workers in (1, 2, 4, 7):
+                bounds = shard_bounds(n, ParallelConfig(workers=workers))
+                flat = [i for s, e in bounds for i in range(s, e)]
+                assert flat == list(range(n))
+
+    def test_explicit_chunk_size(self):
+        bounds = shard_bounds(10, ParallelConfig(workers=2, chunk_size=4))
+        assert bounds == [(0, 4), (4, 8), (8, 10)]
+
+    def test_process_shards_are_worker_sized(self):
+        bounds = shard_bounds(
+            100, ParallelConfig(workers=4, backend="process")
+        )
+        assert len(bounds) == 4
+
+    def test_thread_shards_oversubscribe(self):
+        # Thread shards target ~4 per worker for load balancing:
+        # size = ceil(100 / 16) = 7, giving 15 shards.
+        bounds = shard_bounds(100, ParallelConfig(workers=4, backend="thread"))
+        assert all(end - start <= 7 for start, end in bounds)
+        assert len(bounds) == 15
+
+
+class TestExecutor:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_map_matches_serial(self, backend):
+        config = ParallelConfig(workers=2, backend=backend)
+        assert parallel_map(_square, range(20), config) == [
+            x * x for x in range(20)
+        ]
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_empty_input(self, backend):
+        config = ParallelConfig(workers=2, backend=backend)
+        assert parallel_map(_square, [], config) == []
+        assert parallel_starmap(_add, [], config) == []
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_starmap(self, backend):
+        config = ParallelConfig(workers=2, backend=backend)
+        items = [(i, 10 * i) for i in range(8)]
+        assert parallel_starmap(_add, items, config) == [11 * i for i in range(8)]
+
+    def test_ordering_despite_completion_order(self):
+        # Thread backend with inverted completion order: results must
+        # still follow submission order.
+        config = ParallelConfig(workers=4, backend="thread")
+        assert parallel_map(_slow_identity, range(8), config) == list(range(8))
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_worker_exception_propagates(self, backend):
+        config = ParallelConfig(workers=2, backend=backend)
+        with pytest.raises(ValueError, match="worker failed"):
+            parallel_map(_boom, range(4), config)
+
+    def test_numpy_shards_cross_process_boundary(self):
+        # The process backend moves pickled numpy shards; values and
+        # dtype must survive the round trip.
+        config = ParallelConfig(workers=2, backend="process")
+        shards = [np.arange(5, dtype=np.uint64) + i for i in range(4)]
+        results = parallel_map(_square, shards, config)
+        for shard, result in zip(shards, results):
+            assert result.dtype == np.uint64
+            assert np.array_equal(result, shard * shard)
