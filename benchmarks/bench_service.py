@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Benchmark the resilient serving layer against the bare monitor.
+
+Standalone (not pytest-benchmark): run as
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke]
+        [--requests N] [--output BENCH_service.json]
+
+Four scenarios over the same replayed request stream:
+
+* ``bare-monitor`` — ``MemeMonitor.classify_batch``, the baseline the
+  resilience layer must not meaningfully slow down;
+* ``service-identity`` — :class:`MemeMatchService` in the identity
+  configuration (unbounded queue, breaker off, no retries); verdicts
+  are checked bit-identical to the baseline before any number is
+  reported;
+* ``service-resilient`` — the full serving posture (bounded queue,
+  breaker, jittered retries, deadlines) on a clean stream: the
+  steady-state overhead an operator actually pays;
+* ``service-chaos`` — the serving posture under an injected
+  ``serve:classify`` fault schedule plus poison inputs, on a virtual
+  clock (backoff advances simulated time, not wall time): throughput
+  while absorbing faults, with the terminal-state mix reported and the
+  conservation invariant asserted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.communities import SyntheticWorld, WorldConfig
+from repro.core import PipelineConfig, run_pipeline
+from repro.core.faults import Fault, FaultInjector
+from repro.core.monitor import MemeMonitor
+from repro.service import (
+    BreakerConfig,
+    MemeMatchService,
+    ServiceConfig,
+    VirtualClock,
+)
+from repro.utils.retry import RetryPolicy, TransientError
+
+
+def build_stream(result, world, n_requests: int, seed: int = 11) -> np.ndarray:
+    """Replay stream: real post hashes cycled, salted with random misses."""
+    rng = np.random.default_rng(seed)
+    post_hashes = np.array(
+        [post.phash for post in world.posts], dtype=np.uint64
+    )
+    cycled = np.resize(post_hashes, n_requests)
+    misses = rng.integers(0, 2**64, size=n_requests, dtype=np.uint64)
+    take_miss = rng.random(n_requests) < 0.3
+    return np.where(take_miss, misses, cycled)
+
+
+def identity_config(**overrides) -> ServiceConfig:
+    defaults = dict(
+        max_queue_depth=None,
+        breaker=None,
+        retry=RetryPolicy(max_retries=0),
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def resilient_config() -> ServiceConfig:
+    return ServiceConfig(
+        max_queue_depth=4096,
+        default_deadline_s=30.0,
+        retry=RetryPolicy(
+            max_retries=2, base_delay=0.01, max_delay=0.25, jitter="full"
+        ),
+        breaker=BreakerConfig(failure_threshold=5, open_duration_s=0.5),
+    )
+
+
+def replay(service: MemeMatchService, stream, burst: int = 64, clock=None,
+           tick: float = 0.0):
+    """Submit in bursts, drain between them; ``tick`` spaces arrivals on a
+    virtual clock so breaker cool-downs can elapse during the replay."""
+    responses = []
+    stream = list(stream)
+    for start in range(0, len(stream), burst):
+        for payload in stream[start : start + burst]:
+            immediate = service.submit(payload)
+            if immediate is not None:
+                responses.append(immediate)
+            if clock is not None and tick:
+                clock.advance(tick)
+        responses.extend(service.drain())
+    responses.extend(service.drain())
+    return responses
+
+
+def bench_scenarios(result, world, n_requests: int) -> list[dict]:
+    stream = build_stream(result, world, n_requests)
+    records = []
+
+    monitor = MemeMonitor(result)
+    start = time.perf_counter()
+    baseline = monitor.classify_batch(stream)
+    bare_s = time.perf_counter() - start
+    records.append(
+        {
+            "scenario": "bare-monitor",
+            "requests": n_requests,
+            "wall_s": bare_s,
+            "req_per_s": n_requests / bare_s,
+            "overhead_pct_vs_bare": 0.0,
+        }
+    )
+
+    service = MemeMatchService(result, config=identity_config())
+    start = time.perf_counter()
+    responses = replay(service, (int(h) for h in stream))
+    identity_s = time.perf_counter() - start
+    verdicts = [r.verdict for r in responses]
+    if verdicts != baseline:
+        raise AssertionError("service-identity verdicts diverge from bare monitor")
+    if not service.stats.reconciles(pending=service.pending):
+        raise AssertionError("service-identity lost a request")
+    records.append(
+        {
+            "scenario": "service-identity",
+            "requests": n_requests,
+            "wall_s": identity_s,
+            "req_per_s": n_requests / identity_s,
+            "overhead_pct_vs_bare": 100.0 * (identity_s - bare_s) / bare_s,
+            "identical_to_bare": True,
+        }
+    )
+
+    service = MemeMatchService(result, config=resilient_config())
+    start = time.perf_counter()
+    responses = replay(service, (int(h) for h in stream))
+    resilient_s = time.perf_counter() - start
+    if not service.stats.reconciles(pending=service.pending):
+        raise AssertionError("service-resilient lost a request")
+    records.append(
+        {
+            "scenario": "service-resilient",
+            "requests": n_requests,
+            "wall_s": resilient_s,
+            "req_per_s": n_requests / resilient_s,
+            "overhead_pct_vs_bare": 100.0 * (resilient_s - bare_s) / bare_s,
+            "stats": service.stats.as_dict(),
+        }
+    )
+
+    # Chaos: recurring transient bursts + poison every 97th request, on a
+    # virtual clock so retry backoff costs simulated, not wall, time.
+    chaos_stream: list = [int(h) for h in stream]
+    for index in range(0, len(chaos_stream), 97):
+        chaos_stream[index] = -1
+    faults = FaultInjector(
+        [
+            Fault("serve:classify", TransientError, times=25),
+            Fault("serve:probe", TransientError, times=1),
+        ]
+    )
+    clock = VirtualClock()
+    service = MemeMatchService(
+        result,
+        config=resilient_config(),
+        faults=faults,
+        clock=clock.time,
+        sleep=clock.sleep,
+    )
+    start = time.perf_counter()
+    responses = replay(service, chaos_stream, clock=clock, tick=0.001)
+    chaos_s = time.perf_counter() - start
+    stats = service.stats
+    if not stats.reconciles(pending=service.pending):
+        raise AssertionError("service-chaos lost a request")
+    records.append(
+        {
+            "scenario": "service-chaos",
+            "requests": len(chaos_stream),
+            "wall_s": chaos_s,
+            "req_per_s": len(chaos_stream) / chaos_s,
+            "overhead_pct_vs_bare": 100.0 * (chaos_s - bare_s) / bare_s,
+            "simulated_s": clock.time(),
+            "stats": stats.as_dict(),
+            "conserved": stats.reconciles(pending=service.pending),
+        }
+    )
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="stream length (default 50000, smoke 4000)")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--events-unit", type=float, default=None,
+                        help="world scale (default 60, smoke 18)")
+    parser.add_argument("--output", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    n_requests = args.requests or (4_000 if args.smoke else 50_000)
+    events_unit = args.events_unit or (18.0 if args.smoke else 60.0)
+
+    print(f"Generating world (seed={args.seed}, events_unit={events_unit})...")
+    world = SyntheticWorld.generate(
+        WorldConfig(seed=args.seed, events_unit=events_unit, noise_scale=0.5)
+    )
+    print(f"  {len(world.posts):,} posts; running the pipeline...")
+    result = run_pipeline(world, PipelineConfig())
+    print(f"  index: {len(result.cluster_keys)} annotated clusters; "
+          f"replaying {n_requests:,} requests per scenario\n")
+
+    records = bench_scenarios(result, world, n_requests)
+    for record in records:
+        line = (f"  {record['scenario']:<18} {record['req_per_s']:>12,.0f} req/s"
+                f"  ({record['overhead_pct_vs_bare']:+6.1f}% vs bare)")
+        stats = record.get("stats")
+        if stats:
+            line += (f"  served={stats['served']} shed={stats['shed']} "
+                     f"timed_out={stats['timed_out']} "
+                     f"dead={stats['dead_lettered']}")
+        print(line)
+
+    payload = {
+        "benchmark": "service",
+        "smoke": bool(args.smoke),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "world": {
+            "seed": args.seed,
+            "events_unit": events_unit,
+            "posts": len(world.posts),
+            "index_clusters": len(result.cluster_keys),
+        },
+        "records": records,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,11 @@ Commands
     clusters.
 ``report``
     Everything above in one run.
+``serve-replay``
+    Classify a request stream (``--stream`` file of pHashes, or the
+    world's own posts) through the resilient serving layer
+    (:mod:`repro.service`) and print the accounting: served / shed /
+    timed-out / dead-lettered always sum to submitted.
 
 All commands share ``--seed``, ``--events-unit`` and ``--noise-scale``
 controlling the synthetic world's scale, plus the fault-tolerance flags
@@ -32,6 +37,16 @@ association, per-cluster Hawkes fits) out over N workers;
 count::
 
     python -m repro --workers 4 report
+
+Exit status: 0 on a clean run; **3** when the pipeline finished only
+partially — quarantined communities or failed stages — so operators can
+alert on degraded results; 4 when ``serve-replay`` loses a request
+(conservation violation; should never happen).  ``--inject-fault
+SITE[@TIMES][@KIND]`` arms the deterministic fault injector for chaos
+drills, e.g.::
+
+    python -m repro --inject-fault cluster:pol@9@runtime overview
+    python -m repro --inject-fault serve:classify@20 serve-replay
 """
 
 from __future__ import annotations
@@ -111,11 +126,98 @@ def build_parser() -> argparse.ArgumentParser:
         "workers > 1)",
     )
     parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SITE[@TIMES][@KIND]",
+        help="arm a deterministic fault for chaos drills; KIND is "
+        "transient (default, retryable), runtime (permanent), or "
+        "corrupt (damages the checkpoint at SITE); repeatable",
+    )
+    serving = parser.add_argument_group(
+        "serve-replay options (resilient serving layer)"
+    )
+    serving.add_argument(
+        "--stream",
+        default=None,
+        help="file of pHashes to replay, one per line (decimal or 0x hex; "
+        "unparseable lines become poison inputs and are dead-lettered); "
+        "default replays every world post",
+    )
+    serving.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request latency budget in milliseconds (default: none)",
+    )
+    serving.add_argument(
+        "--queue-depth",
+        type=int,
+        default=1024,
+        help="admission queue bound; 0 = unbounded (default 1024)",
+    )
+    serving.add_argument(
+        "--shed-watermark",
+        type=int,
+        default=None,
+        help="queue depth at which arrivals are shed (default: the bound)",
+    )
+    serving.add_argument(
+        "--burst",
+        type=int,
+        default=32,
+        help="requests submitted per drain cycle (queue pressure; default 32)",
+    )
+    serving.add_argument(
+        "--no-breaker",
+        action="store_true",
+        help="disable the circuit breaker",
+    )
+    serving.add_argument(
+        "--service-retries",
+        type=int,
+        default=2,
+        help="transient-failure retries per request (default 2)",
+    )
+    parser.add_argument(
         "command",
-        choices=("overview", "top", "influence", "clusters", "report"),
-        help="what to print",
+        choices=(
+            "overview", "top", "influence", "clusters", "report", "serve-replay"
+        ),
+        help="what to run",
     )
     return parser
+
+
+def _parse_fault(spec: str):
+    """``SITE[@TIMES][@KIND]`` → a :class:`repro.core.faults.Fault`."""
+    from repro.core.faults import Fault
+    from repro.utils.retry import TransientError
+
+    parts = spec.split("@")
+    if len(parts) > 3 or not parts[0]:
+        raise ValueError(f"malformed fault spec {spec!r}")
+    site = parts[0]
+    times = int(parts[1]) if len(parts) > 1 and parts[1] else 1
+    kind = parts[2] if len(parts) > 2 else "transient"
+    if kind == "transient":
+        return Fault(site, TransientError, times=times)
+    if kind == "runtime":
+        return Fault(site, RuntimeError, times=times)
+    if kind == "corrupt":
+        return Fault(site, action="corrupt", times=times)
+    raise ValueError(
+        f"unknown fault kind {kind!r} (expected transient|runtime|corrupt)"
+    )
+
+
+def _fault_injector(args):
+    """Build the chaos-drill injector from ``--inject-fault``, or ``None``."""
+    from repro.core.faults import FaultInjector
+
+    if not args.inject_fault:
+        return None
+    return FaultInjector([_parse_fault(spec) for spec in args.inject_fault])
 
 
 def _parallel_config(args) -> ParallelConfig | None:
@@ -128,7 +230,7 @@ def _parallel_config(args) -> ParallelConfig | None:
     )
 
 
-def _world_and_pipeline(args):
+def _world_and_pipeline(args, faults=None):
     config = WorldConfig(
         seed=args.seed,
         events_unit=args.events_unit,
@@ -143,6 +245,7 @@ def _world_and_pipeline(args):
         resume=args.resume,
         policy=RunnerPolicy(max_retries=args.max_retries),
         parallel=_parallel_config(args),
+        faults=faults,
     )
     result = run_pipeline(world, PipelineConfig(), options=options)
     if args.checkpoint_dir or result.degraded:
@@ -150,6 +253,14 @@ def _world_and_pipeline(args):
             print(f"  [{report.summary()}]")
         print()
     return world, result
+
+
+def _partial_failure(result) -> bool:
+    """Quarantined communities or failed stages: operators must see it."""
+    return any(
+        report.quarantined or report.status == "failed"
+        for report in result.stage_reports
+    )
 
 
 def _print_overview(world, result) -> None:
@@ -241,6 +352,108 @@ def _print_influence(world, result, parallel=None) -> None:
     )
 
 
+def _load_stream(path) -> list:
+    """Parse a replay stream: one pHash per line, '#' comments allowed.
+
+    Unparseable lines are *kept* as raw strings — they flow through the
+    service as poison inputs and come back dead-lettered, which is the
+    behaviour an operator replaying a dirty production log wants to see
+    accounted, not crash on.
+    """
+    from pathlib import Path
+
+    items: list = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            items.append(int(line, 0))
+        except ValueError:
+            items.append(line)
+    return items
+
+
+def _serve_replay(world, result, args, faults) -> int:
+    """Replay a stream through the resilience layer; 0 iff conserved."""
+    from repro.service import BreakerConfig, MemeMatchService, ServiceConfig
+    from repro.utils.retry import RetryPolicy
+
+    stream = (
+        _load_stream(args.stream)
+        if args.stream
+        else [post.phash for post in world.posts]
+    )
+    config = ServiceConfig(
+        default_deadline_s=(
+            args.deadline_ms / 1000.0 if args.deadline_ms else None
+        ),
+        max_queue_depth=args.queue_depth if args.queue_depth > 0 else None,
+        shed_watermark=args.shed_watermark,
+        retry=RetryPolicy(
+            max_retries=args.service_retries,
+            base_delay=0.005,
+            max_delay=0.1,
+            jitter="full",
+        ),
+        breaker=None if args.no_breaker else BreakerConfig(),
+    )
+    service = MemeMatchService(result, config=config, faults=faults)
+    print(f"Replaying {len(stream):,} requests "
+          f"(burst={args.burst}, index={service.index_size} clusters)...\n")
+    responses = []
+    burst = max(1, args.burst)
+    for start in range(0, len(stream), burst):
+        for payload in stream[start : start + burst]:
+            immediate = service.submit(payload)
+            if immediate is not None:
+                responses.append(immediate)
+        responses.extend(service.drain())
+    responses.extend(service.drain())
+
+    stats = service.stats
+    matched = sum(
+        1 for r in responses if r.status == "ok" and r.verdict.matched
+    )
+    flagged = sum(
+        1
+        for r in responses
+        if r.status == "ok"
+        and r.verdict.matched
+        and (r.verdict.is_racist or r.verdict.is_politics)
+    )
+    print_table(
+        [
+            ["submitted", stats.submitted],
+            ["served", stats.served],
+            ["  matched", matched],
+            ["  flagged (racist/politics)", flagged],
+            ["shed", stats.shed],
+            ["  breaker fast-fails", stats.breaker_fast_fails],
+            ["timed-out", stats.timed_out],
+            ["dead-lettered", stats.dead_lettered],
+            ["retries", stats.retries],
+            ["breaker opens", stats.breaker_opens],
+            ["probes", stats.probes],
+        ],
+        headers=["Counter", "Value"],
+        title="Serving accounting (every request terminates exactly once)",
+    )
+    health = service.health()
+    print(f"breaker={health['breaker']}  queue_peak={health['queue_peak']}  "
+          f"dead_letters={health['dead_letters']}")
+    for letter in service.dead_letters[:5]:
+        print(f"  dead-letter #{letter.request_id}: {letter.reason}")
+    if not health["conserved"]:
+        print("ERROR: conservation violated — a request was lost")
+        return 4
+    print(f"conserved: {stats.submitted:,} submitted = "
+          f"{stats.served:,} served + {stats.shed:,} shed + "
+          f"{stats.timed_out:,} timed-out + "
+          f"{stats.dead_lettered:,} dead-lettered")
+    return 0
+
+
 def _print_clusters(result, n: int = 3) -> None:
     from collections import Counter
 
@@ -262,8 +475,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--max-retries must be >= 0")
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
+    try:
+        faults = _fault_injector(args)
+    except ValueError as error:
+        parser.error(str(error))
     np.set_printoptions(precision=2, suppress=True)
-    world, result = _world_and_pipeline(args)
+    world, result = _world_and_pipeline(args, faults=faults)
+    exit_code = 0
     if args.command in ("overview", "report"):
         _print_overview(world, result)
     if args.command in ("top", "report"):
@@ -272,4 +490,13 @@ def main(argv: list[str] | None = None) -> int:
         _print_clusters(result)
     if args.command in ("influence", "report"):
         _print_influence(world, result, parallel=_parallel_config(args))
-    return 0
+    if args.command == "serve-replay":
+        exit_code = _serve_replay(world, result, args, faults)
+    if _partial_failure(result):
+        quarantined = [
+            site for report in result.stage_reports for site in report.quarantined
+        ]
+        print(f"\nWARNING: partial pipeline failure "
+              f"(quarantined={quarantined or 'none'}); exiting nonzero")
+        exit_code = exit_code or 3
+    return exit_code

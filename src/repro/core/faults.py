@@ -20,6 +20,19 @@ Site naming convention (what the runner fires):
   is written; a ``corrupt`` fault overwrites bytes in the file to
   simulate disk corruption.
 
+The online serving layer (:mod:`repro.service`) fires its own sites, so
+one injector can script a whole chaos schedule across batch and serving
+paths:
+
+* ``"serve:classify"`` — before every classify attempt inside
+  :class:`repro.service.MemeMatchService` (retries re-fire it, so
+  ``times=N`` scripts a burst of N failures);
+* ``"serve:probe"`` — before a half-open circuit-breaker probe attempt
+  (probe attempts fire this *instead of* ``serve:classify``);
+* ``"serve:reload"`` — at the start of a hot index reload, with the
+  checkpoint path attached, so a ``corrupt`` fault simulates a bad
+  checkpoint landing on disk mid-reload.
+
 Faults are exceptions by default; raise :class:`repro.utils.retry.
 TransientError` (the default) to exercise the retry path, or any other
 exception type to exercise degradation/quarantine.
@@ -38,13 +51,20 @@ __all__ = ["Fault", "FaultInjector", "corrupt_file"]
 def corrupt_file(path: str | Path, *, mode: str = "flip") -> None:
     """Deterministically damage a file on disk.
 
-    ``mode="flip"`` inverts a byte in the middle of the file (digest
-    breaks, length intact); ``mode="truncate"`` cuts the file in half.
+    ``mode="flip"`` inverts the byte at ``len // 2`` (digest breaks,
+    length intact); ``mode="truncate"`` keeps the first ``len // 2``
+    bytes.  Both modes **guarantee the stored bytes change**: an empty
+    file has nothing to corrupt, so both raise ``ValueError`` rather
+    than silently "succeeding" without injecting anything, and a 1-byte
+    file truncates to an empty file (a real, detectable truncation —
+    the checkpoint loader rejects it as a truncated header).
     """
     path = Path(path)
     blob = bytearray(path.read_bytes())
     if not blob:
-        return
+        raise ValueError(
+            f"cannot corrupt empty file {path}: no bytes to {mode}"
+        )
     if mode == "flip":
         middle = len(blob) // 2
         blob[middle] ^= 0xFF

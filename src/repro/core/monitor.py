@@ -26,6 +26,58 @@ from repro.hashing.phash import phash
 __all__ = ["MonitorVerdict", "MemeMonitor"]
 
 
+def _validated_hash_array(hashes) -> np.ndarray:
+    """Coerce a batch of pHashes to contiguous uint64, rejecting garbage.
+
+    The uint64 range check must happen *before* the dtype conversion:
+    ``np.ascontiguousarray(x, dtype=np.uint64)`` wraps negative and
+    oversized inputs modulo ``2**64`` without complaint.
+    """
+    arr = np.asarray(hashes)
+    if arr.dtype.kind == "f" and not isinstance(hashes, np.ndarray):
+        # numpy promotes mixed-magnitude python-int sequences (e.g.
+        # [5, 2**63]) to float64; re-coerce exactly via the object path.
+        arr = np.asarray(hashes, dtype=object)
+    if arr.ndim != 1:
+        raise ValueError(
+            f"classify_batch expects a 1-D array of pHashes, got ndim={arr.ndim}"
+        )
+    if arr.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    if arr.dtype == np.uint64:
+        return np.ascontiguousarray(arr)
+    if arr.dtype.kind == "u":  # narrower unsigned: always in range
+        return np.ascontiguousarray(arr, dtype=np.uint64)
+    if arr.dtype.kind == "i":
+        negative = np.flatnonzero(arr < 0)
+        if negative.size:
+            index = int(negative[0])
+            raise ValueError(
+                f"pHash at index {index} is negative ({int(arr[index])}); "
+                "hashes must lie in [0, 2**64)"
+            )
+        return np.ascontiguousarray(arr, dtype=np.uint64)
+    if arr.dtype == object:
+        values = np.empty(arr.size, dtype=np.uint64)
+        for index, value in enumerate(arr):
+            if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+                raise TypeError(
+                    f"pHash at index {index} is {type(value).__name__}, "
+                    "expected an integer"
+                )
+            value = int(value)
+            if not 0 <= value < 2**64:
+                raise ValueError(
+                    f"pHash at index {index} ({value}) outside the unsigned "
+                    "64-bit range [0, 2**64)"
+                )
+            values[index] = value
+        return values
+    raise TypeError(
+        f"classify_batch expects integer pHashes, got dtype {arr.dtype}"
+    )
+
+
 @dataclass(frozen=True)
 class MonitorVerdict:
     """The monitor's decision for one image.
@@ -159,8 +211,21 @@ class MemeMonitor:
         return self.classify_hash(phash(raster))
 
     def classify_batch(self, hashes: np.ndarray) -> list[MonitorVerdict]:
-        """Classify many pHashes (memoised over duplicates)."""
-        hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
+        """Classify many pHashes (memoised over duplicates).
+
+        Raises
+        ------
+        TypeError
+            If ``hashes`` is not integer-typed (floats and arbitrary
+            objects are rejected, mirroring :meth:`classify_hash`).
+        ValueError
+            If the input is not 1-D or any element lies outside the
+            unsigned 64-bit range.  A blind ``astype(uint64)`` would
+            silently wrap negative/oversized values modulo ``2**64``
+            and classify the garbage hash; bad elements are rejected
+            here with their index instead.
+        """
+        hashes = _validated_hash_array(hashes)
         cache: dict[int, MonitorVerdict] = {}
         verdicts = []
         for value in hashes:

@@ -52,3 +52,59 @@ class TestMain:
         out = capsys.readouterr().out
         assert code == 0
         assert "Annotation evidence" in out
+
+
+class TestFaultSpecs:
+    def test_parse_defaults_to_one_transient(self):
+        from repro.cli import _parse_fault
+        from repro.utils.retry import TransientError
+
+        fault = _parse_fault("serve:classify")
+        assert fault.site == "serve:classify"
+        assert fault.times == 1 and fault.error is TransientError
+
+    def test_parse_times_and_kind(self):
+        from repro.cli import _parse_fault
+
+        fault = _parse_fault("cluster:pol@4@runtime")
+        assert fault.times == 4 and fault.error is RuntimeError
+        corrupt = _parse_fault("checkpoint:cluster@1@corrupt")
+        assert corrupt.action == "corrupt"
+
+    def test_malformed_specs_rejected(self):
+        from repro.cli import _parse_fault
+
+        for spec in ["", "@2", "site@2@bogus", "a@b@c@d"]:
+            with pytest.raises(ValueError):
+                _parse_fault(spec)
+
+    def test_parser_accepts_serve_replay(self):
+        args = build_parser().parse_args(
+            ["--inject-fault", "serve:classify@3", "serve-replay"]
+        )
+        assert args.command == "serve-replay"
+        assert args.inject_fault == ["serve:classify@3"]
+
+
+class TestExitCodes:
+    def test_quarantined_community_exits_nonzero(self, capsys):
+        code = main(
+            ["--seed", "3", "--events-unit", "18", "--noise-scale", "0.5",
+             "--inject-fault", "cluster:gab@9@runtime", "overview"]
+        )
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "partial pipeline failure" in out
+        assert "cluster:gab" in out
+
+    def test_serve_replay_conserves_and_exits_zero(self, capsys, tmp_path):
+        stream = tmp_path / "stream.txt"
+        stream.write_text("42\n0xdeadbeef\nnot-a-hash\n-7\n# comment\n\n")
+        code = main(
+            ["--seed", "3", "--events-unit", "18", "--noise-scale", "0.5",
+             "--stream", str(stream), "serve-replay"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "conserved: 4 submitted" in out
+        assert "dead-letter" in out  # the poison lines are accounted

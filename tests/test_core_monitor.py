@@ -154,3 +154,71 @@ class TestInputHardening:
     def test_color_raster_accepted(self, monitor):
         verdict = monitor.classify_image(np.zeros((32, 32, 3)))
         assert isinstance(verdict, MonitorVerdict)
+
+
+class TestClassifyBatchValidation:
+    """Regression: batch inputs must never wrap modulo 2**64 silently."""
+
+    @pytest.fixture(scope="class")
+    def monitor(self, pipeline_result):
+        return MemeMonitor(pipeline_result)
+
+    def test_negative_element_rejected_with_index(self, monitor):
+        with pytest.raises(ValueError, match="index 1"):
+            monitor.classify_batch([5, -1, 7])
+
+    def test_oversized_python_int_rejected(self, monitor):
+        with pytest.raises(ValueError, match="index 0"):
+            monitor.classify_batch([2**64])
+
+    def test_no_wraparound_regression(self, monitor, pipeline_result):
+        # -1 wraps to 2**64 - 1 under a blind astype(uint64); it must be
+        # rejected, not classified as whatever that garbage hash matches.
+        with pytest.raises(ValueError):
+            monitor.classify_batch(np.array([-1], dtype=np.int64))
+        # ... while the legitimate wrapped value still classifies fine.
+        verdict = monitor.classify_hash(2**64 - 1)
+        assert isinstance(verdict, MonitorVerdict)
+
+    def test_float_dtype_rejected(self, monitor):
+        with pytest.raises(TypeError, match="integer"):
+            monitor.classify_batch(np.array([1.5, 2.0]))
+
+    def test_mixed_magnitude_int_list_accepted(self, monitor):
+        # numpy promotes [small, >=2**63] python-int lists to float64;
+        # the validator must re-coerce exactly, not reject them.
+        hashes = [5, 2**63, 2**64 - 1]
+        batch = monitor.classify_batch(hashes)
+        singles = [monitor.classify_hash(h) for h in hashes]
+        assert batch == singles
+
+    def test_float_list_rejected(self, monitor):
+        with pytest.raises(TypeError, match="integer"):
+            monitor.classify_batch([1.5, 2.0])
+
+    def test_object_array_with_non_integer_rejected(self, monitor):
+        with pytest.raises(TypeError, match="index 1"):
+            monitor.classify_batch(np.array([3, "junk"], dtype=object))
+
+    def test_bool_array_rejected(self, monitor):
+        with pytest.raises(TypeError):
+            monitor.classify_batch(np.array([True, False]))
+
+    def test_two_dimensional_rejected(self, monitor):
+        with pytest.raises(ValueError, match="1-D"):
+            monitor.classify_batch(np.zeros((2, 2), dtype=np.uint64))
+
+    def test_empty_batch_ok(self, monitor):
+        assert monitor.classify_batch([]) == []
+        assert monitor.classify_batch(np.empty(0, dtype=np.uint64)) == []
+
+    def test_signed_and_object_batches_match_uint64(self, monitor):
+        values = [0, 1, 2**40, 2**63 - 1]
+        expected = monitor.classify_batch(np.array(values, dtype=np.uint64))
+        assert monitor.classify_batch(np.array(values, dtype=np.int64)) == expected
+        assert monitor.classify_batch(np.array(values, dtype=object)) == expected
+        assert monitor.classify_batch(values) == expected
+
+    def test_object_array_boundary_values(self, monitor):
+        verdicts = monitor.classify_batch(np.array([0, 2**64 - 1], dtype=object))
+        assert len(verdicts) == 2

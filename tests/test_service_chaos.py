@@ -1,0 +1,307 @@
+"""Chaos harness: scripted request streams through scripted fault schedules.
+
+Every scenario asserts the serving layer's core contract — *no request
+is silently lost*: each submitted request terminates as exactly one of
+{verdict, shed, timed-out, dead-lettered} and the
+:class:`~repro.service.ServiceStats` counters reconcile with the
+submitted count — while the faults do their worst.
+"""
+
+from collections import Counter
+
+from repro.core.faults import Fault, FaultInjector, corrupt_file
+from repro.service import (
+    BreakerConfig,
+    MemeMatchService,
+    ServiceConfig,
+    VirtualClock,
+    save_index,
+)
+from repro.utils.retry import RetryPolicy, TransientError
+
+from tests.test_service import MEDOID_A, MEDOID_B, tiny_result
+
+
+def chaos_service(faults=None, *, clock=None, **config_overrides):
+    clock = clock or VirtualClock()
+    defaults = dict(
+        max_queue_depth=None,
+        retry=RetryPolicy(max_retries=0),
+        breaker=BreakerConfig(
+            failure_threshold=3, open_duration_s=10.0, probe_successes=2
+        ),
+    )
+    defaults.update(config_overrides)
+    service = MemeMatchService(
+        tiny_result(),
+        config=ServiceConfig(**defaults),
+        faults=faults,
+        clock=clock.time,
+        sleep=clock.sleep,
+    )
+    return service, clock
+
+
+def assert_conserved(service, responses):
+    stats = service.stats
+    assert stats.reconciles(pending=service.pending), stats.as_dict()
+    counts = Counter(response.status for response in responses)
+    assert counts["ok"] == stats.served
+    assert counts["shed"] == stats.shed
+    assert counts["timed-out"] == stats.timed_out
+    assert counts["dead-lettered"] == stats.dead_lettered
+    assert sum(counts.values()) + service.pending == stats.submitted
+
+
+class TestBreakerUnderBurst:
+    def test_burst_opens_breaker_then_probes_recover(self):
+        faults = FaultInjector(
+            [Fault("serve:classify", TransientError, times=3)]
+        )
+        service, clock = chaos_service(faults)
+        responses = []
+
+        # Phase 1: three failures trip the breaker open.
+        responses += service.serve([MEDOID_A] * 3)
+        assert [r.status for r in responses] == ["dead-lettered"] * 3
+        assert service.breaker.state == "open"
+        assert service.stats.breaker_opens == 1
+
+        # Phase 2: while open, everything sheds fast with zero attempts.
+        open_phase = service.serve([MEDOID_A] * 5)
+        responses += open_phase
+        assert all(r.status == "shed" for r in open_phase)
+        assert all(r.reason == "breaker-open" for r in open_phase)
+        assert all(r.attempts == 0 for r in open_phase)
+        assert service.stats.breaker_fast_fails == 5
+
+        # Phase 3: after the cool-down, half-open probes close it again
+        # (the fault schedule is exhausted, so probes succeed).
+        clock.advance(10.0)
+        probe_phase = service.serve([MEDOID_A, MEDOID_B])
+        responses += probe_phase
+        assert [r.status for r in probe_phase] == ["ok", "ok"]
+        assert service.breaker.state == "closed"
+        assert service.stats.probes == 2
+
+        # Phase 4: steady state again.
+        steady = service.serve([MEDOID_A] * 4)
+        responses += steady
+        assert all(r.status == "ok" for r in steady)
+        assert service.stats.breaker_opens == 1  # never re-opened
+        assert_conserved(service, responses)
+
+    def test_failed_probe_reopens_and_later_recovers(self):
+        faults = FaultInjector(
+            [
+                Fault("serve:classify", TransientError, times=3),
+                Fault("serve:probe", TransientError, times=1),
+            ]
+        )
+        service, clock = chaos_service(faults)
+        responses = service.serve([MEDOID_A] * 3)  # trip it open
+        assert service.breaker.state == "open"
+
+        clock.advance(10.0)
+        [failed_probe] = service.serve([MEDOID_A])
+        responses.append(failed_probe)
+        assert failed_probe.status == "dead-lettered"
+        assert service.breaker.state == "open"  # one bad probe re-opens
+        assert service.stats.breaker_opens == 2
+
+        clock.advance(10.0)
+        recovered = service.serve([MEDOID_A, MEDOID_B])
+        responses += recovered
+        assert [r.status for r in recovered] == ["ok", "ok"]
+        assert service.breaker.state == "closed"
+        assert_conserved(service, responses)
+
+    def test_retrying_requests_absorb_short_blips_without_tripping(self):
+        # 2 transient failures, 3 retries per request: the first request
+        # swallows the whole blip and the breaker never sees a failure.
+        faults = FaultInjector(
+            [Fault("serve:classify", TransientError, times=2)]
+        )
+        service, _ = chaos_service(
+            faults, retry=RetryPolicy(max_retries=3, base_delay=0.01)
+        )
+        responses = service.serve([MEDOID_A] * 5)
+        assert all(r.status == "ok" for r in responses)
+        assert responses[0].attempts == 3
+        assert service.stats.breaker_opens == 0
+        assert_conserved(service, responses)
+
+
+class TestReloadUnderChaos:
+    def test_corrupted_checkpoint_rolls_back_and_keeps_serving(self, tmp_path):
+        path = tmp_path / "index.ckpt"
+        save_index(tiny_result(names=("new-merchant", "new-pepe")), path)
+        faults = FaultInjector(
+            [Fault("serve:reload", action="corrupt", corrupt_mode="flip")]
+        )
+        service, _ = chaos_service(faults)
+
+        before = service.serve([MEDOID_A])
+        report = service.reload_index(path)  # fault corrupts mid-reload
+        assert not report.ok
+        assert service.stats.reload_failures == 1
+
+        after = service.serve([MEDOID_A])
+        assert after[0].verdict.entry == before[0].verdict.entry == "merchant"
+
+        # Re-publish a clean checkpoint: the retry succeeds and swaps.
+        save_index(tiny_result(names=("new-merchant", "new-pepe")), path)
+        report = service.reload_index(path)
+        assert report.ok
+        swapped = service.serve([MEDOID_A, MEDOID_B])
+        assert swapped[0].verdict.entry == "new-merchant"
+        assert_conserved(service, before + after + swapped)
+
+    def test_truncated_checkpoint_rolls_back(self, tmp_path):
+        path = tmp_path / "index.ckpt"
+        save_index(tiny_result(), path)
+        corrupt_file(path, mode="truncate")
+        service, _ = chaos_service()
+        report = service.reload_index(path)
+        assert not report.ok
+        assert service.index_size == 2
+        assert service.serve([MEDOID_A])[0].status == "ok"
+
+    def test_transient_reload_fault_is_isolated_per_attempt(self, tmp_path):
+        path = tmp_path / "index.ckpt"
+        save_index(tiny_result(names=("v2-a", "v2-b")), path)
+        faults = FaultInjector([Fault("serve:reload", TransientError, times=1)])
+        service, _ = chaos_service(faults)
+        assert not service.reload_index(path).ok  # fault fires once
+        assert service.reload_index(path).ok  # operator retries: clean
+        assert service.stats.reloads == 1
+        assert service.stats.reload_failures == 1
+
+
+class TestConservationSchedules:
+    """Counters reconcile under every scripted schedule, no exceptions."""
+
+    def run_schedule(self, faults, *, burst, stream, deadline_s=None, **over):
+        service, clock = chaos_service(
+            faults,
+            max_queue_depth=8,
+            shed_watermark=4,
+            default_deadline_s=deadline_s,
+            **over,
+        )
+        responses = []
+        for start in range(0, len(stream), burst):
+            for payload in stream[start : start + burst]:
+                immediate = service.submit(payload)
+                if immediate is not None:
+                    responses.append(immediate)
+                clock.advance(0.01)  # arrivals are spaced, queue wait accrues
+            responses.extend(service.drain())
+        responses.extend(service.drain())
+        assert len(responses) == len(stream)
+        assert_conserved(service, responses)
+        return service, responses
+
+    def mixed_stream(self, n=60):
+        stream = []
+        for i in range(n):
+            if i % 7 == 3:
+                stream.append(-i)  # poison
+            elif i % 7 == 5:
+                stream.append("junk-%d" % i)  # poison
+            elif i % 2:
+                stream.append(MEDOID_A)
+            else:
+                stream.append(MEDOID_B)
+        return stream
+
+    def test_clean_schedule(self):
+        service, responses = self.run_schedule(
+            None, burst=6, stream=self.mixed_stream()
+        )
+        assert service.stats.served > 0 and service.stats.dead_lettered > 0
+
+    def test_queue_pressure_sheds_but_conserves(self):
+        service, responses = self.run_schedule(
+            None, burst=12, stream=self.mixed_stream()
+        )
+        assert service.stats.shed > 0  # bursts overflow the watermark
+
+    def test_fault_burst_plus_queue_pressure(self):
+        faults = FaultInjector(
+            [Fault("serve:classify", TransientError, times=10)]
+        )
+        service, responses = self.run_schedule(
+            faults, burst=12, stream=self.mixed_stream()
+        )
+        assert service.stats.breaker_opens >= 1
+        assert service.stats.breaker_fast_fails > 0
+
+    def test_deadlines_plus_faults(self):
+        # Retry backoff (0.05s) dwarfs the budget (0.02s): transient
+        # faults convert straight into timeouts, never into hangs.
+        faults = FaultInjector(
+            [Fault("serve:classify", TransientError, times=6)]
+        )
+        service, clock = chaos_service(
+            faults,
+            default_deadline_s=0.02,
+            retry=RetryPolicy(max_retries=4, base_delay=0.05),
+        )
+        responses = service.serve([MEDOID_A] * 6)
+        assert service.stats.timed_out > 0
+        assert_conserved(service, responses)
+
+    def test_every_terminal_state_reachable_in_one_schedule(self):
+        faults = FaultInjector(
+            [Fault("serve:classify", TransientError, times=2)]
+        )
+        service, clock = chaos_service(
+            faults,
+            max_queue_depth=8,
+            shed_watermark=2,
+            default_deadline_s=1.0,
+        )
+        responses = []
+        # dead-lettered: poison input + the two scripted classify faults
+        responses += service.serve([-1, MEDOID_A, MEDOID_B])
+        # shed: a burst of 4 against a watermark of 2
+        immediates = [service.submit(MEDOID_A) for _ in range(4)]
+        responses += [r for r in immediates if r is not None]
+        # timed-out: the admitted pair expires while the clock drifts
+        clock.advance(2.0)
+        responses += service.drain()
+        # ok: fresh requests, faults exhausted, queue empty
+        responses += service.serve([MEDOID_A, MEDOID_B])
+        statuses = Counter(response.status for response in responses)
+        assert statuses == Counter(
+            {"ok": 2, "shed": 2, "timed-out": 2, "dead-lettered": 3}
+        )
+        assert_conserved(service, responses)
+
+
+class TestDeterminism:
+    """Same seed + same schedule => identical outcome, jitter included."""
+
+    def run_once(self):
+        faults = FaultInjector(
+            [Fault("serve:classify", TransientError, times=8)]
+        )
+        service, clock = chaos_service(
+            faults,
+            retry=RetryPolicy(
+                max_retries=2, base_delay=0.05, jitter="full"
+            ),
+            jitter_seed=42,
+        )
+        responses = service.serve([MEDOID_A, MEDOID_B] * 10)
+        return [
+            (r.request_id, r.status, r.attempts, round(r.latency_s, 9))
+            for r in responses
+        ], service.stats.as_dict()
+
+    def test_replays_are_bit_identical(self):
+        first, first_stats = self.run_once()
+        second, second_stats = self.run_once()
+        assert first == second
+        assert first_stats == second_stats
