@@ -33,7 +33,12 @@ from repro.hawkes.attribution import (
 )
 from repro.hawkes.fit import FitConfig, fit_hawkes_em
 from repro.hawkes.model import EventSequence
-from repro.utils.parallel import Executor, ParallelConfig, resolve_parallel
+from repro.utils.parallel import (
+    ExecutionReport,
+    Executor,
+    ParallelConfig,
+    resolve_parallel,
+)
 
 __all__ = [
     "InfluenceStudy",
@@ -87,12 +92,16 @@ class InfluenceStudy:
     aggregates are sums over the member clusters.  ``failures`` maps
     clusters whose Hawkes fit raised to the error message — they are
     excluded from every aggregate instead of sinking the study.
+    ``execution`` carries the supervised executor's per-shard report
+    when the fits ran under a parallel config (``None`` on the plain
+    serial path).
     """
 
     total: InfluenceMatrices
     per_cluster: dict[ClusterKey, InfluenceMatrices]
     groups: dict[str, InfluenceMatrices]
     failures: dict[ClusterKey, str] = field(default_factory=dict)
+    execution: ExecutionReport | None = None
 
     def group(self, name: str) -> InfluenceMatrices:
         return self.groups[name]
@@ -154,15 +163,26 @@ def influence_study(
     k = len(COMMUNITIES)
     parallel = resolve_parallel(parallel)
     keys = list(sequences)
+    execution: ExecutionReport | None = None
     if parallel.is_serial:
         outcomes = [
             fit_cluster_influence(sequences[key], k, fit_config) for key in keys
         ]
     else:
-        outcomes = Executor(parallel).starmap(
+        # Per-cluster fits are atomic (nothing to bisect); a fit that
+        # fails the whole rescue ladder quarantines into ``failures``
+        # alongside the in-band ("error", message) outcomes.
+        sup = Executor(parallel).supervised_starmap(
             fit_cluster_influence,
             [(sequences[key], k, fit_config) for key in keys],
         )
+        execution = sup.report
+        outcomes = [
+            outcome
+            if outcome is not None
+            else ("error", "quarantined: shard failed the supervision ladder")
+            for outcome in sup.results
+        ]
     per_cluster: dict[ClusterKey, InfluenceMatrices] = {}
     total = InfluenceMatrices.zeros(k)
     groups = {
@@ -183,7 +203,11 @@ def influence_study(
             "politics" if annotation.is_politics else "non_politics"
         ] += matrices
     return InfluenceStudy(
-        total=total, per_cluster=per_cluster, groups=groups, failures=failures
+        total=total,
+        per_cluster=per_cluster,
+        groups=groups,
+        failures=failures,
+        execution=execution,
     )
 
 

@@ -18,13 +18,25 @@ from repro.annotation.matcher import DEFAULT_THETA
 from repro.utils.parallel import (
     Executor,
     ParallelConfig,
+    array_splitter,
     resolve_parallel,
     shard_bounds,
+    strict_supervision,
 )
 
 __all__ = ["AssociationResult", "associate_hashes"]
 
 UNASSIGNED = -1
+
+
+def _merge_association_parts(
+    parts: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reassemble bisected shard outputs: per-column concatenation."""
+    return (
+        np.concatenate([part[0] for part in parts]),
+        np.concatenate([part[1] for part in parts]),
+    )
 
 
 @dataclass(frozen=True)
@@ -127,15 +139,18 @@ def associate_hashes(
             unique, id_array, medoid_array, theta
         )
     else:
-        parts = Executor(parallel).starmap(
+        sup = Executor(parallel).supervised_starmap(
             _associate_unique_shard,
             [
                 (unique[start:stop], id_array, medoid_array, theta)
                 for start, stop in shard_bounds(unique.size, parallel)
             ],
+            policy=strict_supervision(parallel),
+            split=array_splitter(0),
+            merge=_merge_association_parts,
         )
-        unique_cluster = np.concatenate([part[0] for part in parts])
-        unique_distance = np.concatenate([part[1] for part in parts])
+        unique_cluster = np.concatenate([part[0] for part in sup.results])
+        unique_distance = np.concatenate([part[1] for part in sup.results])
 
     cluster_ids[:] = unique_cluster[inverse]
     distances[:] = unique_distance[inverse]

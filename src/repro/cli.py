@@ -38,6 +38,16 @@ count::
 
     python -m repro --workers 4 report
 
+Parallel fan-outs run *supervised*: a failing/hung/killed shard walks
+the rescue ladder (fresh-pool retry → bisection → serial fallback)
+before being quarantined.  ``--shard-deadline SECONDS`` arms hang
+detection, ``--shard-retries N`` sets the retry rung's budget, and
+``--on-poison-shard {fail,quarantine}`` picks fail-fast versus explicit
+gaps for shards that exhaust the ladder::
+
+    python -m repro --workers 4 --shard-deadline 30 report
+    python -m repro --workers 2 --inject-fault parallel:worker@1@kill report
+
 Exit status: 0 on a clean run; **3** when the pipeline finished only
 partially — quarantined communities or failed stages — so operators can
 alert on degraded results; 4 when ``serve-replay`` loses a request
@@ -52,6 +62,8 @@ drills, e.g.::
 from __future__ import annotations
 
 import argparse
+import sys
+from dataclasses import replace
 
 import numpy as np
 
@@ -70,7 +82,9 @@ from repro.communities import (
     WorldConfig,
 )
 from repro.core import PipelineConfig, RunnerOptions, RunnerPolicy, run_pipeline
-from repro.utils.parallel import BACKENDS, ParallelConfig
+from repro.utils.io import CheckpointLockError
+from repro.utils.parallel import BACKENDS, ParallelConfig, SupervisionPolicy
+from repro.utils.retry import RetryPolicy
 from repro.utils.tables import print_table
 
 __all__ = ["main", "build_parser"]
@@ -126,13 +140,38 @@ def build_parser() -> argparse.ArgumentParser:
         "workers > 1)",
     )
     parser.add_argument(
+        "--shard-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard deadline for supervised parallel fan-outs; a "
+        "shard past it is declared hung and rescued (default: none)",
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=None,
+        help="fresh-pool retries per failing shard before bisection/"
+        "serial fallback (default 1)",
+    )
+    parser.add_argument(
+        "--on-poison-shard",
+        choices=("fail", "quarantine"),
+        default=None,
+        help="what to do with a shard that fails the whole rescue "
+        "ladder: fail fast, or quarantine it as an explicit gap "
+        "(default quarantine)",
+    )
+    parser.add_argument(
         "--inject-fault",
         action="append",
         default=[],
         metavar="SITE[@TIMES][@KIND]",
         help="arm a deterministic fault for chaos drills; KIND is "
-        "transient (default, retryable), runtime (permanent), or "
-        "corrupt (damages the checkpoint at SITE); repeatable",
+        "transient (default, retryable), runtime (permanent), corrupt "
+        "(damages the checkpoint at SITE), or — at the parallel:shard/"
+        "parallel:worker sites — hang (worker stalls past the shard "
+        "deadline) or kill (worker process dies mid-task); repeatable",
     )
     serving = parser.add_argument_group(
         "serve-replay options (resilient serving layer)"
@@ -206,8 +245,11 @@ def _parse_fault(spec: str):
         return Fault(site, RuntimeError, times=times)
     if kind == "corrupt":
         return Fault(site, action="corrupt", times=times)
+    if kind in ("hang", "kill"):
+        return Fault(site, action=kind, times=times)
     raise ValueError(
-        f"unknown fault kind {kind!r} (expected transient|runtime|corrupt)"
+        f"unknown fault kind {kind!r} "
+        "(expected transient|runtime|corrupt|hang|kill)"
     )
 
 
@@ -220,13 +262,49 @@ def _fault_injector(args):
     return FaultInjector([_parse_fault(spec) for spec in args.inject_fault])
 
 
-def _parallel_config(args) -> ParallelConfig | None:
-    """Explicit flags win; ``None`` defers to the environment/serial."""
-    if args.workers is None and args.parallel_backend is None:
+def _supervision_policy(args) -> SupervisionPolicy | None:
+    """Supervision overrides from the CLI; ``None`` = call-site defaults."""
+    if (
+        args.shard_deadline is None
+        and args.shard_retries is None
+        and args.on_poison_shard is None
+    ):
         return None
+    policy = SupervisionPolicy(shard_deadline_s=args.shard_deadline)
+    if args.shard_retries is not None:
+        policy = replace(
+            policy,
+            retry=RetryPolicy(
+                max_retries=args.shard_retries,
+                base_delay=0.01,
+                retryable=(Exception,),
+            ),
+        )
+    if args.on_poison_shard is not None:
+        policy = replace(policy, on_poison=args.on_poison_shard)
+    return policy
+
+
+def _parallel_config(args) -> ParallelConfig | None:
+    """Explicit flags win; ``None`` defers to the environment/serial.
+
+    Supervision flags alone (e.g. ``--shard-deadline`` with workers
+    from ``REPRO_WORKERS``) still need a config object to ride on, so
+    they graft onto the environment-resolved one.
+    """
+    supervision = _supervision_policy(args)
+    if (
+        args.workers is None
+        and args.parallel_backend is None
+        and supervision is None
+    ):
+        return None
+    if args.workers is None and args.parallel_backend is None:
+        return replace(ParallelConfig.from_env(), supervision=supervision)
     return ParallelConfig(
         workers=args.workers if args.workers is not None else 1,
         backend=args.parallel_backend or "auto",
+        supervision=supervision,
     )
 
 
@@ -475,12 +553,20 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--max-retries must be >= 0")
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.shard_deadline is not None and args.shard_deadline <= 0:
+        parser.error("--shard-deadline must be positive")
+    if args.shard_retries is not None and args.shard_retries < 0:
+        parser.error("--shard-retries must be >= 0")
     try:
         faults = _fault_injector(args)
     except ValueError as error:
         parser.error(str(error))
     np.set_printoptions(precision=2, suppress=True)
-    world, result = _world_and_pipeline(args, faults=faults)
+    try:
+        world, result = _world_and_pipeline(args, faults=faults)
+    except CheckpointLockError as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 3
     exit_code = 0
     if args.command in ("overview", "report"):
         _print_overview(world, result)

@@ -33,6 +33,17 @@ paths:
   checkpoint path attached, so a ``corrupt`` fault simulates a bad
   checkpoint landing on disk mid-reload.
 
+The supervised parallel executor (:mod:`repro.utils.parallel`) consults
+:meth:`FaultInjector.parallel_directive` before every shard attempt:
+
+* ``"parallel:shard"`` / ``"parallel:worker"`` — per shard-attempt
+  sites.  ``action="raise"`` faults raise right there in the parent
+  (a failing shard kernel); ``action="hang"`` and ``action="kill"``
+  return a :class:`repro.utils.parallel.ChaosDirective` the executor
+  ships into the worker — a sleep past the shard deadline, or
+  ``os._exit`` mid-task (observed as ``BrokenProcessPool``, exactly
+  like an OOM-killed worker).
+
 Faults are exceptions by default; raise :class:`repro.utils.retry.
 TransientError` (the default) to exercise the retry path, or any other
 exception type to exercise degradation/quarantine.
@@ -46,6 +57,8 @@ from pathlib import Path
 from repro.utils.retry import TransientError
 
 __all__ = ["Fault", "FaultInjector", "corrupt_file"]
+
+PARALLEL_SITES = ("parallel:shard", "parallel:worker")
 
 
 def corrupt_file(path: str | Path, *, mode: str = "flip") -> None:
@@ -90,9 +103,14 @@ class Fault:
         How many firings before the fault disarms (default 1).
     action:
         ``"raise"`` throws ``error``; ``"corrupt"`` damages the file
-        path the runner passes along (checkpoint sites only).
+        path the runner passes along (checkpoint sites only);
+        ``"hang"`` / ``"kill"`` script worker-side chaos at the
+        ``parallel:*`` sites (see :meth:`FaultInjector.parallel_directive`).
     corrupt_mode:
         Passed to :func:`corrupt_file` for ``action="corrupt"``.
+    delay_s:
+        Worker sleep for ``action="hang"`` (set it past the shard
+        deadline to trigger hang detection).
     """
 
     site: str
@@ -100,13 +118,16 @@ class Fault:
     times: int = 1
     action: str = "raise"
     corrupt_mode: str = "flip"
+    delay_s: float = 0.25
     fired: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.times < 1:
             raise ValueError("times must be >= 1")
-        if self.action not in ("raise", "corrupt"):
+        if self.action not in ("raise", "corrupt", "hang", "kill"):
             raise ValueError(f"unknown fault action {self.action!r}")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
 
     @property
     def armed(self) -> bool:
@@ -148,6 +169,11 @@ class FaultInjector:
         for fault in self.faults:
             if fault.site != site or not fault.armed:
                 continue
+            if fault.action in ("hang", "kill"):
+                raise ValueError(
+                    f"{fault.action!r} fault at {site!r} is a parallel-chaos "
+                    "directive; it fires via parallel_directive(), not fire()"
+                )
             fault.fired += 1
             self.log.append(site)
             if fault.action == "corrupt":
@@ -158,6 +184,39 @@ class FaultInjector:
                 corrupt_file(path, mode=fault.corrupt_mode)
                 return
             raise fault.make_error()
+
+    def parallel_directive(self, site: str):
+        """Chaos hook for supervised parallel execution.
+
+        The executor calls this before every shard attempt with
+        ``"parallel:shard"`` then ``"parallel:worker"``.  A ``raise``
+        fault raises here in the parent; ``hang``/``kill`` faults
+        return a :class:`repro.utils.parallel.ChaosDirective` for the
+        executor to ship into the worker.  Unarmed sites return
+        ``None``.  The bound firing count (``times``) decrements per
+        shard attempt, so e.g. ``times=2`` poisons exactly two attempts
+        and then the fan-out heals.
+        """
+        from repro.utils.parallel import ChaosDirective
+
+        if site not in PARALLEL_SITES:
+            raise ValueError(
+                f"unknown parallel chaos site {site!r}; "
+                f"expected one of {PARALLEL_SITES}"
+            )
+        for fault in self.faults:
+            if fault.site != site or not fault.armed:
+                continue
+            fault.fired += 1
+            self.log.append(site)
+            if fault.action in ("hang", "kill"):
+                return ChaosDirective(fault.action, delay_s=fault.delay_s)
+            if fault.action == "raise":
+                raise fault.make_error()
+            raise ValueError(
+                f"{fault.action!r} fault cannot fire at parallel site {site!r}"
+            )
+        return None
 
     def fired_sites(self) -> list[str]:
         """Every site that fired, in order (for test assertions)."""

@@ -10,6 +10,7 @@ import numpy as np
 from repro.annotation.matcher import ClusterAnnotation
 from repro.clustering.dbscan import NOISE, DBSCANResult
 from repro.communities.models import Post
+from repro.utils.parallel import ExecutionReport
 
 __all__ = [
     "ClusterKey",
@@ -47,6 +48,9 @@ class StageReport:
         Message of the error that triggered degradation, if any.
     notes:
         Free-form diagnostics (invalid-checkpoint reasons, retry info).
+    execution:
+        Supervised-executor report for the stage's parallel fan-out
+        (per-shard attempts/outcomes), when the stage ran one.
     """
 
     name: str
@@ -58,6 +62,7 @@ class StageReport:
     resumed: bool = False
     error: str | None = None
     notes: list[str] = field(default_factory=list)
+    execution: ExecutionReport | None = None
 
     def summary(self) -> str:
         """One-line human-readable digest (CLI output)."""
@@ -70,6 +75,8 @@ class StageReport:
             parts.append("quarantined=" + ",".join(self.quarantined))
         if self.error:
             parts.append(f"error={self.error}")
+        if self.execution is not None:
+            parts.append(f"shards=[{self.execution.summary()}]")
         return "  ".join(parts)
 
 

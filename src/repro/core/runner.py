@@ -58,8 +58,18 @@ from repro.core.results import (
     PipelineResult,
     StageReport,
 )
-from repro.utils.io import CheckpointError, load_checkpoint, save_checkpoint
-from repro.utils.parallel import Executor, ParallelConfig, resolve_parallel
+from repro.utils.io import (
+    CheckpointError,
+    CheckpointLock,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.utils.parallel import (
+    Executor,
+    ParallelConfig,
+    array_splitter,
+    resolve_parallel,
+)
 from repro.utils.retry import RetryPolicy, retry_call
 
 __all__ = ["PipelineRunner", "RunnerOptions", "StageFailure", "STAGES"]
@@ -75,6 +85,16 @@ def _associate_community_shard(
     serial — the fan-out already happened at the community level."""
     return associate_hashes(
         hashes, medoid_by_global, theta=theta, parallel=ParallelConfig()
+    )
+
+
+def _merge_association_results(
+    parts: list[AssociationResult],
+) -> AssociationResult:
+    """Reassemble a bisected community shard's association outputs."""
+    return AssociationResult(
+        cluster_ids=np.concatenate([part.cluster_ids for part in parts]),
+        distances=np.concatenate([part.distances for part in parts]),
     )
 
 
@@ -147,6 +167,13 @@ class PipelineRunner:
         self.config = config or PipelineConfig()
         self.options = options or RunnerOptions()
         self.parallel = resolve_parallel(self.options.parallel)
+        if self.options.faults is not None and self.parallel.chaos is None:
+            # Thread the fault plan into every supervised fan-out the
+            # config reaches (clustering neighbourhoods, association
+            # shards) so parallel:shard / parallel:worker faults fire.
+            self.parallel = replace(
+                self.parallel, chaos=self.options.faults.parallel_directive
+            )
         self.reports: list[StageReport] = []
 
     # ------------------------------------------------------------------
@@ -401,7 +428,10 @@ class PipelineRunner:
         return {"annotations": annotations, "cluster_keys": cluster_keys}
 
     def _associate_all(
-        self, all_hashes: np.ndarray, medoid_by_global: dict[int, int]
+        self,
+        all_hashes: np.ndarray,
+        medoid_by_global: dict[int, int],
+        report: StageReport | None = None,
     ):
         """Step 6's association, sharded per community when parallel.
 
@@ -410,6 +440,13 @@ class PipelineRunner:
         back into post order is bit-identical to one global call — the
         communities are the natural shards (the paper associates each
         platform's crawl independently too).
+
+        The fan-out runs supervised: a community shard that exhausts the
+        rescue ladder quarantines (its posts stay ``UNASSIGNED``, the
+        community lands in ``report.quarantined``) rather than sinking
+        the stage — unless the supervision policy says
+        ``on_poison="fail"``, in which case :class:`PoisonShardError`
+        propagates into the stage's own failure handling.
         """
         if self.parallel.is_serial:
             return associate_hashes(
@@ -419,16 +456,28 @@ class PipelineRunner:
         for position, post in enumerate(self.world.posts):
             groups.setdefault(post.community, []).append(position)
         ordered = [np.asarray(idx, dtype=np.int64) for idx in groups.values()]
-        results = Executor(self.parallel).starmap(
+        sup = Executor(self.parallel).supervised_starmap(
             _associate_community_shard,
             [
                 (all_hashes[idx], medoid_by_global, self.config.theta)
                 for idx in ordered
             ],
+            split=array_splitter(0),
+            merge=_merge_association_results,
         )
+        if report is not None:
+            report.execution = sup.report
         cluster_ids = np.full(all_hashes.size, UNASSIGNED, dtype=np.int64)
         distances = np.full(all_hashes.size, -1, dtype=np.int64)
-        for idx, part in zip(ordered, results):
+        for shard_index, (community, idx) in enumerate(
+            zip(groups, ordered)
+        ):
+            part = sup.results[shard_index]
+            if part is None:
+                if report is not None:
+                    report.quarantined.append(f"associate:{community}")
+                    report.status = "degraded"
+                continue
             cluster_ids[idx] = part.cluster_ids
             distances[idx] = part.distances
         return AssociationResult(cluster_ids=cluster_ids, distances=distances)
@@ -449,7 +498,9 @@ class PipelineRunner:
             all_hashes = np.array(
                 [post.phash for post in self.world.posts], dtype=np.uint64
             )
-            association = self._associate_all(all_hashes, medoid_by_global)
+            association = self._associate_all(
+                all_hashes, medoid_by_global, report
+            )
             matched = association.cluster_ids >= 0
             matched_posts = [
                 post for post, hit in zip(self.world.posts, matched) if hit
@@ -492,7 +543,20 @@ class PipelineRunner:
     # ------------------------------------------------------------------
 
     def run(self) -> PipelineResult:
-        """Execute (or resume) all stages and assemble the result."""
+        """Execute (or resume) all stages and assemble the result.
+
+        When checkpointing is on, the checkpoint directory is locked for
+        the whole run (see :class:`repro.utils.io.CheckpointLock`): a
+        second concurrent run against the same directory fails fast with
+        :class:`repro.utils.io.CheckpointLockError` instead of
+        interleaving ``.ckpt`` writes.
+        """
+        if self.options.checkpoint_dir is not None:
+            with CheckpointLock(self.options.checkpoint_dir):
+                return self._run_all_stages()
+        return self._run_all_stages()
+
+    def _run_all_stages(self) -> PipelineResult:
         cluster_payload = self._run_stage("cluster", self._cluster_stage)
         clusterings = cluster_payload["clusterings"]
 

@@ -20,8 +20,10 @@ from repro.utils.bitops import hamming_distance_matrix
 from repro.utils.parallel import (
     Executor,
     ParallelConfig,
+    range_splitter,
     resolve_parallel,
     shard_bounds,
+    strict_supervision,
 )
 
 __all__ = [
@@ -85,6 +87,11 @@ def _brute_neighbors_shard(
     return [np.flatnonzero(row <= radius) for row in matrix]
 
 
+def _merge_neighbor_lists(parts: list[list[np.ndarray]]) -> list[np.ndarray]:
+    """Reassemble bisected query-range outputs: list concatenation."""
+    return [row for part in parts for row in part]
+
+
 def radius_neighbors(
     hashes: np.ndarray,
     radius: int,
@@ -135,14 +142,17 @@ def radius_neighbors(
             return [np.flatnonzero(row <= radius) for row in matrix]
         return MultiIndexHash(hashes).radius_neighbors(radius)
     shard_fn = _brute_neighbors_shard if method == "brute" else mih_neighbors_shard
-    shards = Executor(parallel).starmap(
+    sup = Executor(parallel).supervised_starmap(
         shard_fn,
         [
             (hashes, start, stop, radius)
             for start, stop in shard_bounds(hashes.size, parallel)
         ],
+        policy=strict_supervision(parallel),
+        split=range_splitter(1, 2),
+        merge=_merge_neighbor_lists,
     )
-    return [row for shard in shards for row in shard]
+    return [row for shard in sup.results for row in shard]
 
 
 def unique_hashes(hashes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -137,6 +137,11 @@ def _matrix_rows(
     return out
 
 
+def _merge_matrix_rows(parts: list[np.ndarray]) -> np.ndarray:
+    """Reassemble bisected row-shard outputs: row concatenation."""
+    return np.concatenate(parts, axis=0)
+
+
 def hamming_distance_matrix(
     a: np.ndarray,
     b: np.ndarray | None = None,
@@ -168,15 +173,24 @@ def hamming_distance_matrix(
     numpy.ndarray
         ``(len(a), len(b))`` matrix of ``int64`` distances.
     """
-    from repro.utils.parallel import Executor, resolve_parallel, shard_bounds
+    from repro.utils.parallel import (
+        Executor,
+        array_splitter,
+        resolve_parallel,
+        shard_bounds,
+        strict_supervision,
+    )
 
     a = np.ascontiguousarray(a, dtype=np.uint64)
     b = a if b is None else np.ascontiguousarray(b, dtype=np.uint64)
     parallel = resolve_parallel(parallel)
     if parallel.is_serial or a.size < parallel.workers * 2:
         return _matrix_rows(a, b, chunk_size)
-    shards = Executor(parallel).starmap(
+    sup = Executor(parallel).supervised_starmap(
         _matrix_rows,
         [(a[start:stop], b, chunk_size) for start, stop in shard_bounds(a.size, parallel)],
+        policy=strict_supervision(parallel),
+        split=array_splitter(0),
+        merge=_merge_matrix_rows,
     )
-    return np.concatenate(shards, axis=0)
+    return np.concatenate(sup.results, axis=0)

@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import csv
 import hashlib
+import os
 import pickle
+import time
 from pathlib import Path
 
 import numpy as np
@@ -41,6 +43,8 @@ __all__ = [
     "load_posts",
     "export_occurrences_csv",
     "CheckpointError",
+    "CheckpointLock",
+    "CheckpointLockError",
     "StaleCheckpointError",
     "save_checkpoint",
     "load_checkpoint",
@@ -55,6 +59,122 @@ class CheckpointError(RuntimeError):
 
 class StaleCheckpointError(CheckpointError):
     """The checkpoint is intact but belongs to a different run identity."""
+
+
+class CheckpointLockError(RuntimeError):
+    """Another live run already holds the checkpoint directory's lock."""
+
+
+class CheckpointLock:
+    """Exclusive advisory lock on a checkpoint directory.
+
+    Two concurrent runs sharing one ``--checkpoint-dir`` would
+    interleave ``.ckpt`` writes — each run's atomic per-file rename is
+    safe, but the *set* of files would mix two runs' stages into one
+    resumable state.  The staged runner therefore takes this lock for
+    the duration of :meth:`repro.core.runner.PipelineRunner.run`; a
+    second run fails fast with :class:`CheckpointLockError` instead of
+    corrupting shared state.
+
+    The lock is a ``.lock`` file created with ``O_CREAT | O_EXCL``
+    (atomic on POSIX and Windows) holding the owner's PID.  A lock
+    whose PID is no longer alive, or whose mtime is older than
+    ``stale_after_s`` (a crashed run on another host whose PID got
+    recycled), is *stale*: it is broken and re-acquired.
+
+    Usable as a context manager::
+
+        with CheckpointLock(checkpoint_dir):
+            ...
+    """
+
+    def __init__(
+        self, directory: str | Path, *, stale_after_s: float = 24 * 3600.0
+    ) -> None:
+        if stale_after_s <= 0:
+            raise ValueError("stale_after_s must be positive")
+        self.path = Path(directory) / ".lock"
+        self.stale_after_s = stale_after_s
+        self._held = False
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def _owner_pid(self) -> int | None:
+        try:
+            return int(self.path.read_text().strip() or 0) or None
+        except (OSError, ValueError):
+            return None
+
+    def _is_stale(self) -> bool:
+        pid = self._owner_pid()
+        if pid is not None:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True  # owner died without releasing
+            except PermissionError:
+                pass  # alive, owned by someone else
+            except OSError:
+                pass  # unknown: fall through to the mtime check
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return False  # vanished: acquire() will just retry
+        return age > self.stale_after_s
+
+    def acquire(self) -> "CheckpointLock":
+        """Take the lock or raise :class:`CheckpointLockError`.
+
+        A stale lock (dead PID, or mtime past ``stale_after_s``) is
+        removed and acquisition retried once.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        for attempt in range(2):
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                if attempt == 0 and self._is_stale():
+                    try:
+                        self.path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                owner = self._owner_pid()
+                raise CheckpointLockError(
+                    f"checkpoint directory {self.path.parent} is locked by "
+                    f"{'pid ' + str(owner) if owner else 'another run'} "
+                    f"({self.path}); concurrent runs would interleave "
+                    "checkpoint writes — wait for it to finish, point this "
+                    "run at a different --checkpoint-dir, or delete the "
+                    "lock file if you are sure the owner is gone"
+                ) from None
+            with os.fdopen(fd, "w") as handle:
+                handle.write(str(os.getpid()))
+            self._held = True
+            return self
+        raise CheckpointLockError(  # pragma: no cover - second race loser
+            f"could not acquire {self.path} after breaking a stale lock"
+        )
+
+    def release(self) -> None:
+        """Drop the lock (idempotent; only removes a lock we hold)."""
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "CheckpointLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 def save_checkpoint(path: str | Path, payload: object, *, fingerprint: str) -> None:

@@ -160,6 +160,14 @@ def retry_call(
             outcome.value = fn()
             return outcome
         except policy.retryable as error:
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                # Never retry an interpreter-exit request, no matter how
+                # broad the policy's retryable tuple is (supervised
+                # parallel execution retries bare (Exception,), and a
+                # custom tuple could even name BaseException): swallowing
+                # Ctrl-C to re-run the failing call would make shutdown
+                # unresponsive.
+                raise
             outcome.errors.append(f"{type(error).__name__}: {error}")
             if retry_index == policy.max_retries:
                 raise

@@ -399,3 +399,80 @@ class TestFaultHarness:
         injector = FaultInjector([Fault("ckpt", action="corrupt")])
         with pytest.raises(ValueError, match="file path"):
             injector.fire("ckpt")
+
+
+class TestCheckpointDirLocking:
+    def test_concurrent_run_fails_fast(self, small_world, tmp_path):
+        # Simulate a live concurrent run by holding the directory lock.
+        from repro.utils.io import CheckpointLock, CheckpointLockError
+
+        with CheckpointLock(tmp_path):
+            runner = PipelineRunner(
+                small_world,
+                PipelineConfig(),
+                options(checkpoint_dir=tmp_path),
+            )
+            with pytest.raises(CheckpointLockError, match="locked by"):
+                runner.run()
+        # No stage should have produced a checkpoint under the held lock.
+        assert not list(tmp_path.glob("*.ckpt"))
+
+    def test_lock_released_after_run(self, small_world, tmp_path):
+        run_pipeline(
+            small_world,
+            PipelineConfig(),
+            options=options(checkpoint_dir=tmp_path),
+        )
+        assert not (tmp_path / ".lock").exists()
+        # A sequential second run (resume) acquires cleanly.
+        result = run_pipeline(
+            small_world,
+            PipelineConfig(),
+            options=options(checkpoint_dir=tmp_path, resume=True),
+        )
+        assert all(report.resumed for report in result.stage_reports)
+
+    def test_no_checkpoint_dir_never_locks(self, small_world, tmp_path):
+        # Lockless path: running without checkpointing must not create
+        # lock files anywhere.
+        run_pipeline(small_world, PipelineConfig(), options=options())
+        assert not (tmp_path / ".lock").exists()
+
+
+class TestSupervisedExecutionReport:
+    def test_associate_stage_carries_execution_report(self, small_world):
+        from repro.utils.parallel import ParallelConfig
+
+        result = run_pipeline(
+            small_world,
+            PipelineConfig(),
+            options=options(
+                parallel=ParallelConfig(workers=2, backend="thread")
+            ),
+        )
+        report = next(
+            r for r in result.stage_reports if r.name == "associate"
+        )
+        assert report.execution is not None
+        assert report.execution.complete
+        assert report.execution.n_shards >= 1
+        assert "shards=[" in report.summary()
+
+    def test_parallel_shard_faults_recovered_by_supervision(self, small_world):
+        # parallel:shard raise-faults burn out across retries: the run
+        # completes cleanly and the report shows the retried shards.
+        from repro.utils.parallel import ParallelConfig
+
+        faults = FaultInjector(
+            [Fault("parallel:shard", RuntimeError, times=2)]
+        )
+        result = run_pipeline(
+            small_world,
+            PipelineConfig(),
+            options=options(
+                parallel=ParallelConfig(workers=2, backend="thread"),
+                faults=faults,
+            ),
+        )
+        assert not result.degraded
+        assert "parallel:shard" in faults.fired_sites()

@@ -8,6 +8,8 @@ import pytest
 from repro.communities.models import Post
 from repro.utils.io import (
     CheckpointError,
+    CheckpointLock,
+    CheckpointLockError,
     StaleCheckpointError,
     export_occurrences_csv,
     load_checkpoint,
@@ -151,3 +153,72 @@ class TestCheckpoints:
         save_checkpoint(path, "old", fingerprint="fp")
         save_checkpoint(path, "new", fingerprint="fp")
         assert load_checkpoint(path, fingerprint="fp") == "new"
+
+
+class TestCheckpointLock:
+    def test_acquire_writes_pid_and_release_removes(self, tmp_path):
+        import os
+
+        lock = CheckpointLock(tmp_path)
+        lock.acquire()
+        assert lock.held
+        assert (tmp_path / ".lock").read_text() == str(os.getpid())
+        lock.release()
+        assert not lock.held
+        assert not (tmp_path / ".lock").exists()
+
+    def test_second_acquire_fails_fast_with_clear_error(self, tmp_path):
+        import os
+
+        with CheckpointLock(tmp_path):
+            second = CheckpointLock(tmp_path)
+            with pytest.raises(CheckpointLockError) as excinfo:
+                second.acquire()
+            message = str(excinfo.value)
+            assert str(tmp_path) in message
+            assert f"pid {os.getpid()}" in message
+            assert "--checkpoint-dir" in message  # tells the operator what to do
+
+    def test_stale_dead_pid_lock_is_broken(self, tmp_path):
+        # A lock held by a PID that no longer exists is stale and must
+        # be re-acquirable without operator intervention.
+        lockfile = tmp_path / ".lock"
+        lockfile.write_text("999999999")  # beyond pid_max: never alive
+        lock = CheckpointLock(tmp_path)
+        lock.acquire()
+        assert lock.held
+        lock.release()
+
+    def test_stale_old_mtime_lock_is_broken(self, tmp_path):
+        import os
+        import time
+
+        lockfile = tmp_path / ".lock"
+        lockfile.write_text(str(os.getpid()))  # alive PID, but ancient lock
+        old = time.time() - 7200.0
+        os.utime(lockfile, (old, old))
+        lock = CheckpointLock(tmp_path, stale_after_s=3600.0)
+        lock.acquire()
+        assert lock.held
+        lock.release()
+
+    def test_live_lock_with_garbage_pid_not_broken_early(self, tmp_path):
+        # Unreadable PID + fresh mtime: assume live, fail fast.
+        (tmp_path / ".lock").write_text("not-a-pid")
+        with pytest.raises(CheckpointLockError):
+            CheckpointLock(tmp_path).acquire()
+
+    def test_context_manager_releases_on_error(self, tmp_path):
+        with pytest.raises(RuntimeError, match="boom"):
+            with CheckpointLock(tmp_path):
+                raise RuntimeError("boom")
+        assert not (tmp_path / ".lock").exists()
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = CheckpointLock(tmp_path).acquire()
+        lock.release()
+        lock.release()  # second release: no-op, no error
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointLock(tmp_path, stale_after_s=0)

@@ -217,3 +217,43 @@ class TestDeadlineAwareRetry:
             sleep=lambda s: None,
         )
         assert outcome.value == "ok"
+
+
+class TestNeverRetryInterrupts:
+    """KeyboardInterrupt/SystemExit must never be retried, even when the
+    policy's retryable tuple is broad enough to match them."""
+
+    @pytest.mark.parametrize("interrupt", [KeyboardInterrupt, SystemExit])
+    def test_interrupt_propagates_immediately(self, interrupt):
+        flaky = Flaky(failures=3, error=interrupt())
+        policy = RetryPolicy(
+            max_retries=3, base_delay=0.0, retryable=(BaseException,)
+        )
+        with pytest.raises(interrupt):
+            retry_call(flaky, policy, sleep=lambda s: None)
+        assert flaky.calls == 1  # no second attempt
+
+    def test_interrupt_not_recorded_as_swallowed_error(self):
+        # The guard fires before bookkeeping: the outcome must not list
+        # the interrupt among retried errors (nothing was retried).
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise KeyboardInterrupt()
+
+        policy = RetryPolicy(
+            max_retries=5, base_delay=0.0, retryable=(BaseException,)
+        )
+        with pytest.raises(KeyboardInterrupt):
+            retry_call(fn, policy, sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_broad_exception_tuple_still_retries_normal_errors(self):
+        flaky = Flaky(failures=2, error=ValueError("transient-ish"))
+        policy = RetryPolicy(
+            max_retries=3, base_delay=0.0, retryable=(Exception,)
+        )
+        outcome = retry_call(flaky, policy, sleep=lambda s: None)
+        assert outcome.value == "ok"
+        assert outcome.attempts == 3
