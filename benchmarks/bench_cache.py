@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""Benchmark the content-addressed cache: cold vs warm vs +1% delta.
+
+Standalone (not pytest-benchmark): run as
+
+    PYTHONPATH=src python benchmarks/bench_cache.py [--smoke]
+        [--output BENCH_cache.json]
+
+Three measured pipeline runs over the same synthetic corpus:
+
+* **cold** — empty cache directory; every stage computes and stores;
+* **warm** — identical inputs; every stage must report ``cached`` and
+  the result must be bit-identical to the cold run;
+* **delta** — the corpus grown by ~1% appended posts; clustering and
+  association reuse the cached slots and do suffix/merge work only,
+  again bit-identical to a cold run over the grown corpus.
+
+The headline assertion (skipped under ``--smoke``) is warm/cold > 5x:
+a warm re-run pays only fingerprinting and checkpoint reads, never the
+hashing/clustering/annotation compute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.communities import FRINGE_COMMUNITIES, SyntheticWorld, WorldConfig
+from repro.core import PipelineConfig, RunnerOptions, run_pipeline
+
+
+class GrownWorld:
+    """A world whose post stream gained ``extra`` appended posts."""
+
+    def __init__(self, world, extra):
+        self.posts = list(world.posts) + list(extra)
+        self.kym_site = world.kym_site
+        self.library = world.library
+        self.config = world.config
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def identical(a, b) -> bool:
+    """Bit-level equality of everything downstream analysis consumes."""
+    if set(a.clusterings) != set(b.clusterings):
+        return False
+    for community in a.clusterings:
+        ca, cb = a.clusterings[community], b.clusterings[community]
+        if not (
+            np.array_equal(ca.unique_hashes, cb.unique_hashes)
+            and np.array_equal(ca.counts, cb.counts)
+            and np.array_equal(ca.result.labels, cb.result.labels)
+            and ca.medoids == cb.medoids
+        ):
+            return False
+    return (
+        a.cluster_keys == b.cluster_keys
+        and np.array_equal(
+            a.occurrences.cluster_indices, b.occurrences.cluster_indices
+        )
+        and a.occurrences.entry_names == b.occurrences.entry_names
+    )
+
+
+def fresh_world(world_config: WorldConfig):
+    return SyntheticWorld.generate(world_config)
+
+
+def grown_world(world_config: WorldConfig, fraction: float = 0.01):
+    """The same world with ~``fraction`` extra posts appended.
+
+    The extras duplicate *non-fringe* posts, so every fringe clustering
+    (and its medoids) is untouched and the delta run exercises the
+    cheap paths: full cluster/annotate hits plus association over the
+    appended suffix only.
+    """
+    world = fresh_world(world_config)
+    mainstream = [
+        post
+        for post in world.posts
+        if post.community not in FRINGE_COMMUNITIES
+    ]
+    n_extra = max(1, int(len(world.posts) * fraction))
+    stride = max(1, len(mainstream) // n_extra)
+    return GrownWorld(world, mainstream[::stride][:n_extra])
+
+
+def run(world, cache_dir=None):
+    options = (
+        RunnerOptions(cache_dir=cache_dir) if cache_dir is not None else None
+    )
+    return run_pipeline(world, PipelineConfig(), options=options)
+
+
+def stage_cache_summary(result) -> dict:
+    return {
+        report.name: {
+            "cached": report.cached,
+            "hits": report.cache_stats.hits if report.cache_stats else 0,
+            "misses": report.cache_stats.misses if report.cache_stats else 0,
+            "deltas": dict(report.cache_stats.deltas)
+            if report.cache_stats
+            else {},
+        }
+        for report in result.stage_reports
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny corpus: verify cache hits, bit-identity, and JSON "
+        "shape, skip the speedup assertion (for CI)",
+    )
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_cache.json"),
+    )
+    args = parser.parse_args(argv)
+    world_config = WorldConfig(
+        seed=args.seed,
+        events_unit=10.0 if args.smoke else 75.0,
+        noise_scale=0.8,
+    )
+
+    work_dir = tempfile.mkdtemp(prefix="bench-cache-")
+    cache_dir = os.path.join(work_dir, "cache")
+    try:
+        # Worlds are generated OUTSIDE the timers: the benchmark measures
+        # the pipeline, and the cache cannot (and should not) speed up
+        # synthetic-corpus generation.
+        cold_world = fresh_world(world_config)
+        warm_world = fresh_world(world_config)
+        grown = grown_world(world_config)
+        grown_again = grown_world(world_config)
+        n_posts = len(cold_world.posts)
+        n_extra = len(grown.posts) - n_posts
+        print(f"corpus: seed={world_config.seed} "
+              f"events_unit={world_config.events_unit} "
+              f"posts={n_posts:,}", flush=True)
+
+        cold, cold_s = _timed(lambda: run(cold_world, cache_dir))
+        print(f"  cold   {cold_s:8.3f}s", flush=True)
+
+        warm, warm_s = _timed(lambda: run(warm_world, cache_dir))
+        warm_cached = all(report.cached for report in warm.stage_reports)
+        print(f"  warm   {warm_s:8.3f}s  all-cached={warm_cached}  "
+              f"speedup={cold_s / warm_s:5.1f}x", flush=True)
+
+        cold_grown, cold_grown_s = _timed(lambda: run(grown_again))
+        delta, delta_s = _timed(lambda: run(grown, cache_dir))
+        print(f"  delta  {delta_s:8.3f}s  (+{n_extra} posts, cold over the "
+              f"grown corpus {cold_grown_s:.3f}s, "
+              f"speedup={cold_grown_s / delta_s:5.1f}x)", flush=True)
+
+        warm_identical = identical(cold, warm)
+        delta_identical = identical(cold_grown, delta)
+        payload = {
+            "benchmark": "content-addressed cache (ISSUE 5)",
+            "host": {
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+            },
+            "config": {
+                "seed": world_config.seed,
+                "events_unit": world_config.events_unit,
+                "smoke": args.smoke,
+                "n_posts": n_posts,
+                "n_extra_posts": n_extra,
+            },
+            "records": [
+                {"name": "cold", "seconds": cold_s},
+                {
+                    "name": "warm",
+                    "seconds": warm_s,
+                    "speedup_vs_cold": cold_s / warm_s if warm_s else float("inf"),
+                    "all_stages_cached": warm_cached,
+                    "identical_to_cold": warm_identical,
+                    "stages": stage_cache_summary(warm),
+                },
+                {
+                    "name": "delta_1pct",
+                    "seconds": delta_s,
+                    "cold_seconds": cold_grown_s,
+                    "speedup_vs_cold": cold_grown_s / delta_s
+                    if delta_s
+                    else float("inf"),
+                    "identical_to_cold": delta_identical,
+                    "stages": stage_cache_summary(delta),
+                },
+            ],
+        }
+        output = os.path.abspath(args.output)
+        with open(output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {output}")
+
+        if not warm_identical or not delta_identical:
+            print("FAIL: cached run differs from cold recompute", file=sys.stderr)
+            return 1
+        if not warm_cached:
+            print("FAIL: warm run recomputed at least one stage", file=sys.stderr)
+            return 1
+        associate = delta.stage_report("associate")
+        if associate.cache_stats is None or not any(
+            label == "associate:added" for label in associate.cache_stats.deltas
+        ):
+            print(
+                "FAIL: delta run did not take the associate prefix path",
+                file=sys.stderr,
+            )
+            return 1
+        if not args.smoke and cold_s / warm_s <= 5.0:
+            print(
+                f"FAIL: warm speedup {cold_s / warm_s:.1f}x <= 5x",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    finally:
+        shutil.rmtree(work_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,8 @@ Measures the four parallelised hot paths on synthetic workloads sized
 like the paper's per-community image multisets:
 
 * ``radius_neighbors`` (``method="mih"``) on a clustered 50k-hash
-  multiset — the DBSCAN Step-2/3 bottleneck and the headline number;
+  multiset — the DBSCAN Step-2/3 bottleneck and the headline number:
+  the batched shard kernel against the per-query reference path;
 * ``hamming_distance_matrix`` row sharding;
 * ``associate_hashes`` (Step 6) sharded over unique hashes;
 * per-cluster Hawkes fits via :func:`fit_cluster_influence`.
@@ -18,11 +19,16 @@ like the paper's per-community image multisets:
 Every record verifies the parallel output element-for-element against
 serial before reporting a speedup — a fast wrong answer scores zero.
 
-Note on mechanism: the process backend shards queries across workers,
-and the shard kernel (`mih_neighbors_shard`) is additionally a batched
-implementation (vectorised candidate gathering + verify-then-dedup), so
-speedups above the core count are expected and honest — the serial
-baseline is the pre-existing per-query reference path.
+Note on mechanism: the headline win is algorithmic, not core-count.
+The shard kernel (`mih_neighbors_shard`) is a batched implementation
+(vectorised candidate gathering + verify-then-dedup), and since the
+cache/dispatch work it also serves *serial* callers of
+``radius_neighbors`` — so the headline record times it against the
+per-query reference path (``MultiIndexHash.radius_neighbors``, the
+serial implementation it replaced) and reports the process fan-out
+separately as ``parallel_vs_serial`` (at or below 1x on few-core
+hosts, where the cost model picks serial instead — see the
+``*_dispatch`` records).
 """
 
 from __future__ import annotations
@@ -39,10 +45,16 @@ import numpy as np
 
 from repro.analysis.influence import fit_cluster_influence
 from repro.annotation.association import associate_hashes
+from repro.hashing.index import MultiIndexHash
 from repro.hashing.pairwise import radius_neighbors
 from repro.hawkes.model import EventSequence
 from repro.utils.bitops import hamming_distance_matrix
-from repro.utils.parallel import Executor, ParallelConfig
+from repro.utils.parallel import (
+    CostModel,
+    Executor,
+    ParallelConfig,
+    effective_workers,
+)
 
 
 def clustered_hashes(n_bases: int, members: int, seed: int = 7) -> np.ndarray:
@@ -71,22 +83,37 @@ def _timed(fn):
 
 def bench_radius_neighbors(n_hashes: int, parallel: ParallelConfig) -> dict:
     hashes = clustered_hashes(n_hashes // 10, 10)
+    # Per-query reference: one MultiIndexHash lookup per hash.  This was
+    # radius_neighbors' serial implementation before the batched shard
+    # kernel started serving serial callers too; timing it keeps the
+    # headline comparable across runs of this file and keeps the speedup
+    # honest about where it comes from (batching, not core count).
+    reference, reference_s = _timed(
+        lambda: MultiIndexHash(hashes).radius_neighbors(8)
+    )
     serial, serial_s = _timed(
         lambda: radius_neighbors(hashes, 8, method="mih")
     )
     par, parallel_s = _timed(
         lambda: radius_neighbors(hashes, 8, method="mih", parallel=parallel)
     )
-    identical = len(serial) == len(par) and all(
-        np.array_equal(a, b) for a, b in zip(serial, par)
+    identical = (
+        len(serial) == len(par) == len(reference)
+        and all(np.array_equal(a, b) for a, b in zip(serial, par))
+        and all(np.array_equal(a, b) for a, b in zip(serial, reference))
     )
     return {
         "name": "radius_neighbors_mih",
         "n_items": int(hashes.size),
         "radius": 8,
+        "per_query_s": reference_s,
         "serial_s": serial_s,
         "parallel_s": parallel_s,
-        "speedup": serial_s / parallel_s if parallel_s else float("inf"),
+        # Headline: batched serial kernel vs the per-query reference.
+        "speedup": reference_s / serial_s if serial_s else float("inf"),
+        "parallel_vs_serial": (
+            serial_s / parallel_s if parallel_s else float("inf")
+        ),
         "identical": identical,
     }
 
@@ -168,6 +195,91 @@ def bench_hawkes_fits(n_clusters: int, parallel: ParallelConfig) -> dict:
         "speedup": serial_s / parallel_s if parallel_s else float("inf"),
         "identical": identical,
     }
+
+
+def _paired_best(serial_fn, dispatched_fn, calibrate, rounds: int = 4):
+    """Alternate serial/dispatched timings; best (min) wall time per side.
+
+    Pairing the rounds makes slow host drift hit both sides equally —
+    which matters because on few-core hosts the two sides execute the
+    *same* code (the dispatcher picks serial), so any reported gap is
+    pure timing noise.  ``calibrate`` receives the first serial timing
+    before the first dispatched call so the model chooses from an
+    observed rate.
+    """
+    serial_result, serial_s = _timed(serial_fn)
+    calibrate(serial_s)
+    dispatch_result, dispatch_s = _timed(dispatched_fn)
+    for _ in range(rounds - 1):
+        _, elapsed = _timed(serial_fn)
+        serial_s = min(serial_s, elapsed)
+        _, elapsed = _timed(dispatched_fn)
+        dispatch_s = min(dispatch_s, elapsed)
+    return serial_result, serial_s, dispatch_result, dispatch_s
+
+
+def bench_cost_dispatch(parallel: ParallelConfig) -> list[dict]:
+    """The calibrated dispatcher must erase the sub-1x regressions.
+
+    BENCH_parallel.json once recorded ``hamming_distance_matrix`` at
+    0.07x and ``associate_hashes`` at 0.94x under an unconditional
+    4-worker process fan-out on a 1-core host.  Here each kernel's
+    serial run calibrates a :class:`CostModel`; the same pool config
+    *with* the model then routes through ``dispatched()``, which picks
+    the cheapest backend per call.  Dispatch must never lose to serial
+    beyond timing noise — on an oversubscribed host it simply chooses
+    serial, elsewhere it keeps the winning fan-out.
+    """
+    model = CostModel()
+    dispatching = replace(parallel, cost_model=model)
+    records = []
+
+    rng = np.random.default_rng(29)
+    n = 2_000
+    a = rng.integers(0, 2**64, size=n, dtype=np.uint64)
+    b = rng.integers(0, 2**64, size=n, dtype=np.uint64)
+    serial, serial_s, par, dispatch_s = _paired_best(
+        lambda: hamming_distance_matrix(a, b),
+        lambda: hamming_distance_matrix(a, b, parallel=dispatching),
+        lambda s: model.observe("hamming_distance_matrix", "serial", n * n, s),
+    )
+    chosen = model.choose("hamming_distance_matrix", n * n, parallel)
+    records.append({
+        "name": "hamming_distance_matrix_dispatch",
+        "n_items": n,
+        "serial_s": serial_s,
+        "parallel_s": dispatch_s,
+        "speedup": serial_s / dispatch_s if dispatch_s else float("inf"),
+        "dispatch_backend": chosen.resolved_backend(),
+        "dispatch_workers": chosen.workers,
+        "identical": bool(np.array_equal(serial, par)),
+    })
+
+    medoid_values = rng.integers(0, 2**64, size=200, dtype=np.uint64)
+    medoids = {int(i): int(v) for i, v in enumerate(medoid_values)}
+    hashes = clustered_hashes(4_000, 10, seed=31)
+    n_unique = int(np.unique(hashes).size)
+    serial, serial_s, par, dispatch_s = _paired_best(
+        lambda: associate_hashes(hashes, medoids, theta=8),
+        lambda: associate_hashes(hashes, medoids, theta=8, parallel=dispatching),
+        lambda s: model.observe("associate_hashes", "serial", n_unique, s),
+    )
+    chosen = model.choose("associate_hashes", n_unique, parallel)
+    records.append({
+        "name": "associate_hashes_dispatch",
+        "n_items": int(hashes.size),
+        "n_medoids": len(medoids),
+        "serial_s": serial_s,
+        "parallel_s": dispatch_s,
+        "speedup": serial_s / dispatch_s if dispatch_s else float("inf"),
+        "dispatch_backend": chosen.resolved_backend(),
+        "dispatch_workers": chosen.workers,
+        "identical": bool(
+            np.array_equal(serial.cluster_ids, par.cluster_ids)
+            and np.array_equal(serial.distances, par.distances)
+        ),
+    })
+    return records
 
 
 def bench_supervision_overhead(
@@ -285,21 +397,34 @@ def main(argv: list[str] | None = None) -> int:
         sizes = dict(neighbors=50_000, matrix=4_000, assoc=200_000, medoids=1_000, hawkes=20)
 
     records = []
-    print(f"workers={args.workers} backend={args.backend} "
-          f"cpus={os.cpu_count()} smoke={args.smoke}", flush=True)
+    capped = effective_workers(args.workers)
+    print(f"workers={args.workers} (effective={capped}) "
+          f"backend={args.backend} cpus={os.cpu_count()} "
+          f"smoke={args.smoke}", flush=True)
     for record in (
         bench_radius_neighbors(sizes["neighbors"], parallel),
         bench_hamming_matrix(sizes["matrix"], parallel),
         bench_association(sizes["assoc"], sizes["medoids"], parallel),
         bench_hawkes_fits(sizes["hawkes"], parallel),
+        *bench_cost_dispatch(parallel),
     ):
         records.append(record)
+        dispatch = (
+            f"  -> {record['dispatch_backend']}x{record['dispatch_workers']}"
+            if "dispatch_backend" in record
+            else ""
+        )
+        if "per_query_s" in record:
+            dispatch += (
+                f"  [per-query={record['per_query_s']:.3f}s, "
+                f"parallel/serial={record['parallel_vs_serial']:.2f}x]"
+            )
         print(
-            f"  {record['name']:28s} n={record['n_items']:>7,}  "
+            f"  {record['name']:32s} n={record['n_items']:>7,}  "
             f"serial={record['serial_s']:8.3f}s  "
             f"parallel={record['parallel_s']:8.3f}s  "
             f"speedup={record['speedup']:5.2f}x  "
-            f"identical={record['identical']}",
+            f"identical={record['identical']}{dispatch}",
             flush=True,
         )
 
@@ -326,6 +451,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "config": {
             "workers": args.workers,
+            "effective_workers": capped,
             "backend": args.backend,
             "smoke": args.smoke,
         },
@@ -355,10 +481,24 @@ def main(argv: list[str] | None = None) -> int:
     headline = records[0]
     if not args.smoke and headline["speedup"] < 2.0:
         print(
-            f"FAIL: headline speedup {headline['speedup']:.2f}x < 2x",
+            f"FAIL: headline batched-vs-per-query speedup "
+            f"{headline['speedup']:.2f}x < 2x",
             file=sys.stderr,
         )
         return 1
+    if not args.smoke:
+        for record in records:
+            if "dispatch_backend" not in record:
+                continue
+            # 0.9x allows timing noise on identical code paths; a real
+            # regression (the historical 0.07x) is far below it.
+            if record["speedup"] < 0.9:
+                print(
+                    f"FAIL: cost-model dispatch left {record['name']} at "
+                    f"{record['speedup']:.2f}x vs serial",
+                    file=sys.stderr,
+                )
+                return 1
     return 0
 
 

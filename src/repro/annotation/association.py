@@ -19,6 +19,7 @@ from repro.utils.parallel import (
     Executor,
     ParallelConfig,
     array_splitter,
+    kernel_timer,
     resolve_parallel,
     shard_bounds,
     strict_supervision,
@@ -133,24 +134,30 @@ def associate_hashes(
     # numpy >= 2.0 shapes return_inverse like the input; flatten so the
     # memoised scatter below works on both 1.26 and 2.x.
     inverse = inverse.reshape(-1)
-    parallel = resolve_parallel(parallel)
+    parallel = resolve_parallel(parallel).dispatched(
+        "associate_hashes", int(unique.size)
+    )
     if parallel.is_serial or unique.size < parallel.workers * 2:
-        unique_cluster, unique_distance = _associate_unique_shard(
-            unique, id_array, medoid_array, theta
-        )
+        with kernel_timer(
+            parallel, "associate_hashes", int(unique.size), backend="serial"
+        ):
+            unique_cluster, unique_distance = _associate_unique_shard(
+                unique, id_array, medoid_array, theta
+            )
     else:
-        sup = Executor(parallel).supervised_starmap(
-            _associate_unique_shard,
-            [
-                (unique[start:stop], id_array, medoid_array, theta)
-                for start, stop in shard_bounds(unique.size, parallel)
-            ],
-            policy=strict_supervision(parallel),
-            split=array_splitter(0),
-            merge=_merge_association_parts,
-        )
-        unique_cluster = np.concatenate([part[0] for part in sup.results])
-        unique_distance = np.concatenate([part[1] for part in sup.results])
+        with kernel_timer(parallel, "associate_hashes", int(unique.size)):
+            sup = Executor(parallel).supervised_starmap(
+                _associate_unique_shard,
+                [
+                    (unique[start:stop], id_array, medoid_array, theta)
+                    for start, stop in shard_bounds(unique.size, parallel)
+                ],
+                policy=strict_supervision(parallel),
+                split=array_splitter(0),
+                merge=_merge_association_parts,
+            )
+            unique_cluster = np.concatenate([part[0] for part in sup.results])
+            unique_distance = np.concatenate([part[1] for part in sup.results])
 
     cluster_ids[:] = unique_cluster[inverse]
     distances[:] = unique_distance[inverse]

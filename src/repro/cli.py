@@ -20,6 +20,9 @@ Commands
     world's own posts) through the resilient serving layer
     (:mod:`repro.service`) and print the accounting: served / shed /
     timed-out / dead-lettered always sum to submitted.
+``cache``
+    Inspect (``cache`` / ``cache info``) or wipe (``cache clear``) the
+    content-addressed cache at ``--cache-dir``.
 
 All commands share ``--seed``, ``--events-unit`` and ``--noise-scale``
 controlling the synthetic world's scale, plus the fault-tolerance flags
@@ -37,6 +40,22 @@ association, per-cluster Hawkes fits) out over N workers;
 count::
 
     python -m repro --workers 4 report
+
+``--cache-dir DIR`` turns on content-addressed memoization
+(:mod:`repro.core.cache`): a re-run with unchanged inputs reports
+``cached`` per stage, and a run whose corpus merely *grew* does delta
+work only (incremental neighbourhood merging, prefix association).
+``--no-cache`` disables it even when a script always passes
+``--cache-dir``; ``--cost-dispatch`` adds calibrated cost-model
+dispatch (:class:`repro.utils.parallel.CostModel`) so each kernel call
+picks serial vs thread vs process from measured throughput — with
+``--cache-dir`` the calibration persists at
+``<cache-dir>/cost_model.json``::
+
+    python -m repro --cache-dir cache report      # cold: fills the cache
+    python -m repro --cache-dir cache report      # warm: every stage cached
+    python -m repro --cache-dir cache cache       # inspect entries
+    python -m repro --cache-dir cache cache clear
 
 Parallel fan-outs run *supervised*: a failing/hung/killed shard walks
 the rescue ladder (fresh-pool retry → bisection → serial fallback)
@@ -64,6 +83,7 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import replace
+from pathlib import Path
 
 import numpy as np
 
@@ -83,7 +103,13 @@ from repro.communities import (
 )
 from repro.core import PipelineConfig, RunnerOptions, RunnerPolicy, run_pipeline
 from repro.utils.io import CheckpointLockError
-from repro.utils.parallel import BACKENDS, ParallelConfig, SupervisionPolicy
+from repro.utils.parallel import (
+    BACKENDS,
+    CostModel,
+    ParallelConfig,
+    SupervisionPolicy,
+    warn_if_oversubscribed,
+)
 from repro.utils.retry import RetryPolicy
 from repro.utils.tables import print_table
 
@@ -124,6 +150,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="retries per stage item on transient failures",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the content-addressed cache (enables "
+        "memoization: warm re-runs hit per stage, grown inputs do "
+        "delta work only; output is bit-identical either way)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content cache even when --cache-dir is given",
+    )
+    parser.add_argument(
+        "--cost-dispatch",
+        action="store_true",
+        help="dispatch each parallel kernel call serial/thread/process "
+        "from calibrated throughput instead of the requested backend; "
+        "calibration persists at <cache-dir>/cost_model.json",
     )
     parser.add_argument(
         "--workers",
@@ -221,9 +266,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "command",
         choices=(
-            "overview", "top", "influence", "clusters", "report", "serve-replay"
+            "overview", "top", "influence", "clusters", "report",
+            "serve-replay", "cache",
         ),
         help="what to run",
+    )
+    parser.add_argument(
+        "subcommand",
+        nargs="?",
+        default=None,
+        help="cache action: info (default) or clear; only valid after "
+        "the cache command",
     )
     return parser
 
@@ -285,30 +338,55 @@ def _supervision_policy(args) -> SupervisionPolicy | None:
     return policy
 
 
+def _cache_dir(args) -> str | None:
+    """The effective cache directory (``--no-cache`` wins)."""
+    return None if args.no_cache else args.cache_dir
+
+
+def _cost_model(args) -> CostModel | None:
+    """Build the ``--cost-dispatch`` model, persisted inside the cache."""
+    if not args.cost_dispatch:
+        return None
+    cache_dir = _cache_dir(args)
+    path = Path(cache_dir) / "cost_model.json" if cache_dir else None
+    return CostModel(path)
+
+
 def _parallel_config(args) -> ParallelConfig | None:
     """Explicit flags win; ``None`` defers to the environment/serial.
 
     Supervision flags alone (e.g. ``--shard-deadline`` with workers
     from ``REPRO_WORKERS``) still need a config object to ride on, so
-    they graft onto the environment-resolved one.
+    they graft onto the environment-resolved one; the same goes for
+    ``--cost-dispatch``.
     """
     supervision = _supervision_policy(args)
+    cost_model = _cost_model(args)
     if (
         args.workers is None
         and args.parallel_backend is None
         and supervision is None
+        and cost_model is None
     ):
         return None
     if args.workers is None and args.parallel_backend is None:
-        return replace(ParallelConfig.from_env(), supervision=supervision)
+        return replace(
+            ParallelConfig.from_env(),
+            supervision=supervision,
+            cost_model=cost_model,
+        )
+    workers = args.workers if args.workers is not None else 1
+    if workers > 1:
+        warn_if_oversubscribed(workers, source="--workers")
     return ParallelConfig(
-        workers=args.workers if args.workers is not None else 1,
+        workers=workers,
         backend=args.parallel_backend or "auto",
         supervision=supervision,
+        cost_model=cost_model,
     )
 
 
-def _world_and_pipeline(args, faults=None):
+def _world_and_pipeline(args, faults=None, parallel=None):
     config = WorldConfig(
         seed=args.seed,
         events_unit=args.events_unit,
@@ -322,15 +400,36 @@ def _world_and_pipeline(args, faults=None):
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         policy=RunnerPolicy(max_retries=args.max_retries),
-        parallel=_parallel_config(args),
+        parallel=parallel,
         faults=faults,
+        cache_dir=_cache_dir(args),
     )
     result = run_pipeline(world, PipelineConfig(), options=options)
-    if args.checkpoint_dir or result.degraded:
+    if args.checkpoint_dir or _cache_dir(args) or result.degraded:
         for report in result.stage_reports:
             print(f"  [{report.summary()}]")
         print()
     return world, result
+
+
+def _cache_command(args, parser) -> int:
+    """``cache`` / ``cache info`` / ``cache clear`` on ``--cache-dir``."""
+    from repro.core import ContentCache
+
+    if not _cache_dir(args):
+        parser.error("the cache command requires --cache-dir")
+    action = args.subcommand or "info"
+    cache = ContentCache(_cache_dir(args))
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {_cache_dir(args)}")
+        return 0
+    entries = cache.entries()
+    print(f"{len(entries)} entries, {cache.total_bytes():,} bytes "
+          f"in {_cache_dir(args)}")
+    for key, size in entries:
+        print(f"  {key}  {size:,} B")
+    return 0
 
 
 def _partial_failure(result) -> bool:
@@ -547,6 +646,14 @@ def _print_clusters(result, n: int = 3) -> None:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.subcommand is not None and args.command != "cache":
+        parser.error(
+            f"unexpected argument {args.subcommand!r} after {args.command}"
+        )
+    if args.command == "cache" and args.subcommand not in (None, "info", "clear"):
+        parser.error(
+            f"unknown cache action {args.subcommand!r} (expected info|clear)"
+        )
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
     if args.max_retries < 0:
@@ -557,13 +664,16 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shard-deadline must be positive")
     if args.shard_retries is not None and args.shard_retries < 0:
         parser.error("--shard-retries must be >= 0")
+    if args.command == "cache":
+        return _cache_command(args, parser)
     try:
         faults = _fault_injector(args)
     except ValueError as error:
         parser.error(str(error))
     np.set_printoptions(precision=2, suppress=True)
+    parallel = _parallel_config(args)
     try:
-        world, result = _world_and_pipeline(args, faults=faults)
+        world, result = _world_and_pipeline(args, faults=faults, parallel=parallel)
     except CheckpointLockError as error:
         print(f"ERROR: {error}", file=sys.stderr)
         return 3
@@ -575,9 +685,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.command in ("clusters", "report"):
         _print_clusters(result)
     if args.command in ("influence", "report"):
-        _print_influence(world, result, parallel=_parallel_config(args))
+        _print_influence(world, result, parallel=parallel)
     if args.command == "serve-replay":
         exit_code = _serve_replay(world, result, args, faults)
+    if (
+        parallel is not None
+        and parallel.cost_model is not None
+        and parallel.cost_model.path is not None
+    ):
+        # Persist what this run observed so the next one dispatches
+        # from calibration instead of defaults.
+        parallel.cost_model.save()
     if _partial_failure(result):
         quarantined = [
             site for report in result.stage_reports for site in report.quarantined

@@ -11,8 +11,11 @@
   retry with backoff, degradation ladder, quarantine).
 * :mod:`repro.core.faults` — deterministic fault injection for testing
   the runner's failure handling.
+* :mod:`repro.core.cache` — content-addressed two-tier memoization for
+  warm re-runs and incremental (+N images) delta work.
 """
 
+from repro.core.cache import CacheStats, ContentCache, fingerprint
 from repro.core.config import MetricWeights, PipelineConfig, RunnerPolicy
 from repro.core.faults import Fault, FaultInjector, corrupt_file
 from repro.core.metric import (
@@ -44,6 +47,9 @@ __all__ = [
     "Fault",
     "FaultInjector",
     "corrupt_file",
+    "CacheStats",
+    "ContentCache",
+    "fingerprint",
     "ClusterFeatures",
     "cluster_distance",
     "pairwise_cluster_distances",

@@ -10,6 +10,7 @@ import numpy as np
 from repro.annotation.matcher import ClusterAnnotation
 from repro.clustering.dbscan import NOISE, DBSCANResult
 from repro.communities.models import Post
+from repro.core.cache import CacheStats
 from repro.utils.parallel import ExecutionReport
 
 __all__ = [
@@ -51,6 +52,15 @@ class StageReport:
     execution:
         Supervised-executor report for the stage's parallel fan-out
         (per-shard attempts/outcomes), when the stage ran one.
+    cached:
+        Whether the stage's output came entirely from the content cache
+        (every lookup hit and no delta work ran).  Distinct from
+        ``resumed``: a resume replays a *checkpoint* of this exact run
+        directory, a cache hit reuses *content-addressed* results from
+        any previous run over the same inputs.
+    cache_stats:
+        This stage's slice of the content cache's activity
+        (hits/misses/deltas), when the runner had a cache.
     """
 
     name: str
@@ -63,12 +73,22 @@ class StageReport:
     error: str | None = None
     notes: list[str] = field(default_factory=list)
     execution: ExecutionReport | None = None
+    cached: bool = False
+    cache_stats: CacheStats | None = None
 
     def summary(self) -> str:
         """One-line human-readable digest (CLI output)."""
         parts = [f"{self.name}: {self.status}"]
         parts.append(f"attempts={self.attempts}")
         parts.append(f"{self.duration_s:.2f}s")
+        if self.cached:
+            parts.append("cached")
+        if self.cache_stats is not None and (
+            self.cache_stats.hits
+            or self.cache_stats.misses
+            or self.cache_stats.errors
+        ):
+            parts.append(f"cache[{self.cache_stats.summary()}]")
         if self.fallbacks:
             parts.append("fallbacks=" + ",".join(self.fallbacks))
         if self.quarantined:

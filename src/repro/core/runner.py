@@ -27,6 +27,18 @@ and wraps each boundary with the fault-tolerance machinery:
   :class:`~repro.core.results.StageReport` (timings, attempts,
   fallbacks, quarantined items) to the returned
   :class:`~repro.core.results.PipelineResult`.
+* **Content-addressed memoization** — with a
+  :class:`~repro.core.cache.ContentCache` (``cache_dir``/``cache`` on
+  :class:`RunnerOptions`), every stage consults the cache before
+  computing: unchanged inputs hit outright, and the clustering and
+  association stages run *delta* work when the input grew — reusing
+  yesterday's radius neighbourhoods
+  (:func:`repro.hashing.pairwise.merge_radius_neighbors`) and
+  association prefix instead of recomputing the world.  All cached and
+  delta outputs are bit-identical to a cold run (pinned in tests);
+  per-stage hit/miss/delta statistics land on the stage report.
+  Unlike checkpoints, cache entries are keyed by input *content*, so
+  they survive across runs, directories, and worker counts.
 
 Fault injection for tests goes through :mod:`repro.core.faults`: the
 runner calls ``faults.fire(site)`` at every boundary it crosses.
@@ -48,9 +60,12 @@ from repro.annotation.association import (
     associate_hashes,
 )
 from repro.annotation.matcher import annotate_clusters
-from repro.clustering.dbscan import dbscan
+from repro.clustering.dbscan import dbscan, dbscan_from_neighbors
+from repro.clustering.medoid import medoids_by_cluster
+from repro.core.cache import CacheStats, ContentCache, fingerprint
 from repro.core.config import PipelineConfig, RunnerPolicy
 from repro.core.faults import FaultInjector
+from repro.hashing.pairwise import merge_radius_neighbors, radius_neighbors
 from repro.core.results import (
     ClusterKey,
     CommunityClustering,
@@ -135,6 +150,14 @@ class RunnerOptions:
         to serial.  Results are bit-identical for any worker count, so
         checkpoints written under different worker counts are
         interchangeable (the fingerprint deliberately excludes this).
+    cache_dir:
+        Directory of the content-addressed cache
+        (:class:`repro.core.cache.ContentCache`); ``None`` disables
+        memoization unless ``cache`` is given.  Warm re-runs hit per
+        stage; runs over a grown input do delta work only.
+    cache:
+        An already-constructed cache instance (shared with e.g. the
+        serving layer); wins over ``cache_dir``.
     """
 
     checkpoint_dir: str | Path | None = None
@@ -144,6 +167,8 @@ class RunnerOptions:
     sleep: Callable[[float], None] | None = None
     seed: int | None = None
     parallel: ParallelConfig | None = None
+    cache_dir: str | Path | None = None
+    cache: ContentCache | None = None
 
 
 class PipelineRunner:
@@ -174,6 +199,9 @@ class PipelineRunner:
             self.parallel = replace(
                 self.parallel, chaos=self.options.faults.parallel_directive
             )
+        self.cache = self.options.cache
+        if self.cache is None and self.options.cache_dir is not None:
+            self.cache = ContentCache(self.options.cache_dir)
         self.reports: list[StageReport] = []
 
     # ------------------------------------------------------------------
@@ -255,7 +283,20 @@ class PipelineRunner:
                 self.reports.append(report)
                 return payload
         self._fire(stage)
+        cache_base = self.cache.stats.copy() if self.cache is not None else None
         payload = compute(report)
+        if cache_base is not None:
+            stage_stats = self.cache.stats.since(cache_base)
+            report.cache_stats = stage_stats
+            # "cached" = nothing was freshly computed: every lookup hit
+            # and no delta work ran (":added" labels mark fresh inputs).
+            report.cached = (
+                stage_stats.hits > 0
+                and stage_stats.misses == 0
+                and not any(
+                    label.endswith(":added") for label in stage_stats.deltas
+                )
+            )
         payload.setdefault("fallbacks", list(report.fallbacks))
         payload.setdefault("quarantined", list(report.quarantined))
         if path is not None:
@@ -302,10 +343,123 @@ class PipelineRunner:
             medoids={},
         )
 
-    def _cluster_stage(self, report: StageReport) -> dict:
-        """Steps 2-3 per fringe community, with per-community quarantine."""
+    def _cluster_community_cached(self, community: str) -> CommunityClustering:
+        """Steps 2-3 for one community, through the content cache.
+
+        The cache slot is keyed by the computation's identity
+        (community + eps + min_samples + method); its value carries the
+        input fingerprint plus the radius neighbourhoods — the expensive
+        part.  Three outcomes:
+
+        * **full hit** — identical unique hashes and counts: reuse the
+          stored neighbourhoods outright;
+        * **delta** — the previous unique hashes are a subset of
+          today's: index only the added hashes and merge
+          (:func:`repro.hashing.pairwise.merge_radius_neighbors`, bit-
+          identical to a cold recompute);
+        * **miss** — compute cold and store.
+
+        DBSCAN labels and medoids are always re-derived from the
+        neighbourhoods (cheap, deterministic), so every path yields the
+        exact arrays a cold :func:`repro.core.pipeline.cluster_community`
+        call would.
+        """
         from repro.core.pipeline import cluster_community
 
+        if self.cache is None:
+            return cluster_community(
+                community, self.world.posts, self.config, parallel=self.parallel
+            )
+        image_hashes = np.array(
+            [
+                post.phash
+                for post in self.world.posts
+                if post.community == community
+            ],
+            dtype=np.uint64,
+        )
+        if image_hashes.size == 0:
+            return self._empty_clustering(community)
+        unique, counts = np.unique(image_hashes, return_counts=True)
+        config = self.config
+        slot = self.cache.key(
+            "cluster-slot",
+            community,
+            config.clustering_eps,
+            config.clustering_min_samples,
+            config.neighbor_method,
+        )
+        input_fp = fingerprint(unique, counts)
+        stats = self.cache.stats
+        hit, stored = self.cache.get(slot, count=False)
+        neighbors = None
+        if hit:
+            prev_unique = stored["unique"]
+            if stored["input_fp"] == input_fp or np.array_equal(
+                prev_unique, unique
+            ):
+                # Neighbourhoods depend only on the unique hashes, so a
+                # counts-only change still reuses them fully.
+                neighbors = stored["neighbors"]
+                stats.hits += 1
+                stats.note_delta(f"cluster:{community}:reused", int(unique.size))
+            elif (
+                0 < prev_unique.size < unique.size
+                and np.all(np.isin(prev_unique, unique))
+            ):
+                added = np.setdiff1d(unique, prev_unique)
+                _, neighbors = merge_radius_neighbors(
+                    prev_unique,
+                    stored["neighbors"],
+                    added,
+                    config.clustering_eps,
+                )
+                stats.hits += 1
+                stats.note_delta(f"cluster:{community}:added", int(added.size))
+                stats.note_delta(
+                    f"cluster:{community}:reused", int(prev_unique.size)
+                )
+            else:
+                stats.misses += 1  # shrunk or disjoint input: recompute
+        else:
+            stats.misses += 1
+        if neighbors is None:
+            neighbors = radius_neighbors(
+                unique,
+                config.clustering_eps,
+                method=config.neighbor_method,
+                parallel=self.parallel,
+            )
+        result = dbscan_from_neighbors(
+            neighbors,
+            min_samples=config.clustering_min_samples,
+            counts=counts,
+        )
+        medoid_positions = medoids_by_cluster(unique, result.labels, counts)
+        medoids = {
+            cluster_id: np.uint64(unique[position])
+            for cluster_id, position in medoid_positions.items()
+        }
+        if not hit or stored["input_fp"] != input_fp:
+            self.cache.put(
+                slot,
+                {
+                    "input_fp": input_fp,
+                    "unique": unique,
+                    "counts": counts,
+                    "neighbors": neighbors,
+                },
+            )
+        return CommunityClustering(
+            community=community,
+            unique_hashes=unique,
+            counts=counts,
+            result=result,
+            medoids=medoids,
+        )
+
+    def _cluster_stage(self, report: StageReport) -> dict:
+        """Steps 2-3 per fringe community, with per-community quarantine."""
         clusterings: dict[str, CommunityClustering] = {}
         for community in FRINGE_COMMUNITIES:
             site = f"cluster:{community}"
@@ -313,11 +467,8 @@ class PipelineRunner:
                 clusterings[community] = self._run_item(
                     report,
                     site,
-                    lambda community=community: cluster_community(
-                        community,
-                        self.world.posts,
-                        self.config,
-                        parallel=self.parallel,
+                    lambda community=community: self._cluster_community_cached(
+                        community
                     ),
                 )
             except Exception as error:
@@ -330,9 +481,32 @@ class PipelineRunner:
         return {"clusterings": clusterings}
 
     def _screenshot_stage(self, report: StageReport) -> dict:
-        """Step 4 with the classifier → oracle → none degradation ladder."""
+        """Step 4 with the classifier → oracle → none degradation ladder.
+
+        With a cache, the whole stage is memoized on (filter mode, seed,
+        gallery content): a hit replays the recorded classifier
+        decisions onto the galleries via
+        :meth:`_restore_screenshot_stage` instead of retraining the CNN.
+        The key is fingerprinted *before* any mutation, so warm runs
+        over a regenerated world hit deterministically.  Only clean
+        rung-0 outcomes are stored — a degraded ladder walk must not
+        mask the original failure on the next run.
+        """
         from repro.core.pipeline import filter_kym_screenshots
 
+        cache_key = None
+        if self.cache is not None:
+            cache_key = self.cache.key(
+                "screenshot",
+                self.config.screenshot_filter,
+                self._seed(),
+                self.world.kym_site,
+                getattr(self.world, "library", None),
+            )
+            hit, payload = self.cache.get(cache_key)
+            if hit:
+                self._restore_screenshot_stage(payload)
+                return dict(payload)
         ladder = self.config.screenshot_ladder()
         last_error: BaseException | None = None
         for rung, mode in enumerate(ladder):
@@ -373,6 +547,8 @@ class PipelineRunner:
                     [bool(image.is_screenshot) for image in entry.gallery]
                     for entry in self.world.kym_site
                 ]
+            if cache_key is not None and rung == 0:
+                self.cache.put(cache_key, dict(payload))
             return payload
         raise StageFailure("screenshot-filter", last_error)  # pragma: no cover
 
@@ -398,7 +574,35 @@ class PipelineRunner:
         clusterings: dict[str, CommunityClustering],
         exclude_screenshots: bool,
     ) -> dict:
-        """Step 5 per community, quarantining permanently-failing ones."""
+        """Step 5 per community, quarantining permanently-failing ones.
+
+        With a cache, the whole stage is memoized on (theta, exclusion
+        flag, every community's medoids, gallery content *after* the
+        screenshot filter ran) — the exact inputs of
+        :func:`repro.annotation.matcher.annotate_clusters`.  Outcomes
+        with quarantined communities are not stored.
+        """
+        cache_key = None
+        if self.cache is not None:
+            medoid_map = {
+                community: {
+                    int(cluster_id): int(medoid)
+                    for cluster_id, medoid in sorted(
+                        clustering.medoids.items()
+                    )
+                }
+                for community, clustering in sorted(clusterings.items())
+            }
+            cache_key = self.cache.key(
+                "annotate",
+                self.config.theta,
+                bool(exclude_screenshots),
+                medoid_map,
+                self.world.kym_site,
+            )
+            hit, payload = self.cache.get(cache_key)
+            if hit:
+                return dict(payload)
         annotations: dict[ClusterKey, object] = {}
         cluster_keys: list[ClusterKey] = []
         for community, clustering in clusterings.items():
@@ -425,7 +629,10 @@ class PipelineRunner:
                 key = ClusterKey(community, cluster_id)
                 annotations[key] = annotation
                 cluster_keys.append(key)
-        return {"annotations": annotations, "cluster_keys": cluster_keys}
+        payload = {"annotations": annotations, "cluster_keys": cluster_keys}
+        if cache_key is not None and not report.quarantined:
+            self.cache.put(cache_key, dict(payload))
+        return payload
 
     def _associate_all(
         self,
@@ -482,6 +689,85 @@ class PipelineRunner:
             distances[idx] = part.distances
         return AssociationResult(cluster_ids=cluster_ids, distances=distances)
 
+    def _associate_cached(
+        self,
+        all_hashes: np.ndarray,
+        medoid_by_global: dict[int, int],
+        report: StageReport | None,
+    ) -> AssociationResult:
+        """Step 6's association, memoized with a prefix-delta slot.
+
+        The slot key is (theta, the full index→medoid mapping); the
+        value carries the input fingerprint plus the per-post arrays.
+        Because each post's verdict depends only on its own hash, a run
+        whose post stream merely *grew* (yesterday's posts form a
+        prefix of today's, the append-only crawl pattern) associates
+        only the suffix and concatenates — bit-identical to the cold
+        call.  Incomplete outcomes (quarantined association shards) are
+        never stored.
+        """
+        if self.cache is None:
+            return self._associate_all(all_hashes, medoid_by_global, report)
+        slot = self.cache.key(
+            "associate-slot", self.config.theta, medoid_by_global
+        )
+        input_fp = fingerprint(all_hashes)
+        stats = self.cache.stats
+        hit, stored = self.cache.get(slot, count=False)
+        if hit:
+            if stored["input_fp"] == input_fp:
+                stats.hits += 1
+                stats.note_delta("associate:reused", int(all_hashes.size))
+                return AssociationResult(
+                    cluster_ids=stored["cluster_ids"],
+                    distances=stored["distances"],
+                )
+            n_prev = int(stored["cluster_ids"].size)
+            if (
+                0 < n_prev < all_hashes.size
+                and fingerprint(all_hashes[:n_prev]) == stored["input_fp"]
+            ):
+                stats.hits += 1
+                suffix = self._associate_all(
+                    all_hashes[n_prev:], medoid_by_global, report
+                )
+                association = AssociationResult(
+                    cluster_ids=np.concatenate(
+                        [stored["cluster_ids"], suffix.cluster_ids]
+                    ),
+                    distances=np.concatenate(
+                        [stored["distances"], suffix.distances]
+                    ),
+                )
+                stats.note_delta("associate:reused", n_prev)
+                stats.note_delta(
+                    "associate:added", int(all_hashes.size) - n_prev
+                )
+                self._store_association(slot, input_fp, association, report)
+                return association
+        stats.misses += 1
+        association = self._associate_all(all_hashes, medoid_by_global, report)
+        self._store_association(slot, input_fp, association, report)
+        return association
+
+    def _store_association(
+        self,
+        slot: str,
+        input_fp: str,
+        association: AssociationResult,
+        report: StageReport | None,
+    ) -> None:
+        if report is not None and report.quarantined:
+            return
+        self.cache.put(
+            slot,
+            {
+                "input_fp": input_fp,
+                "cluster_ids": association.cluster_ids,
+                "distances": association.distances,
+            },
+        )
+
     def _associate_stage(
         self,
         report: StageReport,
@@ -498,7 +784,7 @@ class PipelineRunner:
             all_hashes = np.array(
                 [post.phash for post in self.world.posts], dtype=np.uint64
             )
-            association = self._associate_all(
+            association = self._associate_cached(
                 all_hashes, medoid_by_global, report
             )
             matched = association.cluster_ids >= 0

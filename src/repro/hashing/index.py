@@ -40,6 +40,13 @@ class BKTree:
 
     Items are integer payloads (typically indices into an external array);
     duplicate hash values accumulate on a single node.
+
+    Both :meth:`add` and :meth:`query` are iterative (a descent loop and
+    an explicit stack respectively), never recursive: a degenerate
+    insertion order that chains nodes — every new value at the same
+    distance from the current node — builds a tree as deep as the
+    collection, and a recursive walk would hit Python's recursion limit
+    there (pinned by a 5000-deep adversarial chain in the tests).
     """
 
     def __init__(self, hashes: Iterable[int] | None = None) -> None:
@@ -116,20 +123,49 @@ class MultiIndexHash:
     N_CHUNKS = 8
 
     def __init__(self, hashes: np.ndarray) -> None:
-        self.hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
+        self.hashes = np.ascontiguousarray(hashes, dtype=np.uint64).reshape(-1)
         # chunk_values[c][i] = byte c of hash i (little-endian byte order;
         # the order is irrelevant as long as it is consistent).
         self._chunk_values = self.hashes.view(np.uint8).reshape(-1, self.N_CHUNKS)
-        self._buckets: list[dict[int, list[int]]] = [
-            {} for _ in range(self.N_CHUNKS)
-        ]
-        for i in range(self.hashes.size):
-            for c in range(self.N_CHUNKS):
-                key = int(self._chunk_values[i, c])
-                self._buckets[c].setdefault(key, []).append(i)
+        # Buckets are built with one stable argsort per chunk instead of
+        # an n*8 Python loop; within a byte value the stable sort keeps
+        # indices ascending, identical to the incremental appends in add().
+        self._buckets: list[dict[int, list[int]]] = []
+        for c in range(self.N_CHUNKS):
+            bucket: dict[int, list[int]] = {}
+            if self.hashes.size:
+                values = self._chunk_values[:, c]
+                order = np.argsort(values, kind="stable").astype(np.int64)
+                sorted_values = values[order]
+                boundaries = np.flatnonzero(np.diff(sorted_values)) + 1
+                starts = np.concatenate(([0], boundaries))
+                stops = np.concatenate((boundaries, [sorted_values.size]))
+                for start, stop in zip(starts, stops):
+                    bucket[int(sorted_values[start])] = order[start:stop].tolist()
+            self._buckets.append(bucket)
 
     def __len__(self) -> int:
         return int(self.hashes.size)
+
+    def add(self, new_hashes: np.ndarray) -> None:
+        """Incrementally index more hashes (positions continue the array).
+
+        Appending then querying is identical to rebuilding the index
+        over the concatenated array — this is what lets a run with N
+        new images extend yesterday's neighbourhoods instead of
+        re-indexing the whole collection.
+        """
+        new = np.ascontiguousarray(new_hashes, dtype=np.uint64).reshape(-1)
+        if new.size == 0:
+            return
+        offset = int(self.hashes.size)
+        self.hashes = np.concatenate([self.hashes, new])
+        self._chunk_values = self.hashes.view(np.uint8).reshape(-1, self.N_CHUNKS)
+        new_chunks = new.view(np.uint8).reshape(-1, self.N_CHUNKS)
+        for i in range(new.size):
+            for c in range(self.N_CHUNKS):
+                key = int(new_chunks[i, c])
+                self._buckets[c].setdefault(key, []).append(offset + i)
 
     def query(self, value: int, radius: int) -> list[tuple[int, int]]:
         """Return ``(index, distance)`` pairs within ``radius`` of ``value``.

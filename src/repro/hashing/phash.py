@@ -52,9 +52,30 @@ def phash(image: np.ndarray) -> np.uint64:
     return pack_bits(phash_bits(image))
 
 
-def phash_batch(images: list[np.ndarray] | tuple[np.ndarray, ...]) -> np.ndarray:
-    """pHash a sequence of images into a ``uint64`` array."""
-    return np.array([phash(image) for image in images], dtype=np.uint64)
+def phash_batch(
+    images: list[np.ndarray] | tuple[np.ndarray, ...],
+    *,
+    cache=None,
+) -> np.ndarray:
+    """pHash a sequence of images into a ``uint64`` array.
+
+    With a :class:`repro.core.cache.ContentCache`, each raster is keyed
+    by its content (dtype + shape + bytes) and only never-seen images
+    are hashed — a batch extended by N new images re-hashes exactly
+    those N.  The output is identical with or without the cache (a
+    DCT + threshold is deterministic; the cache stores its result).
+    """
+    if cache is None:
+        return np.array([phash(image) for image in images], dtype=np.uint64)
+    out = np.empty(len(images), dtype=np.uint64)
+    for position, image in enumerate(images):
+        key = cache.key("phash", np.asarray(image))
+        hit, value = cache.get(key)
+        if not hit:
+            value = int(phash(image))
+            cache.put(key, value)
+        out[position] = value
+    return out
 
 
 def phash_to_hex(value: np.uint64 | int) -> str:

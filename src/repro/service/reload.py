@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.core.cache import ContentCache
 from repro.core.results import PipelineResult
 from repro.utils.io import CheckpointError, load_checkpoint, save_checkpoint
 
@@ -43,8 +44,17 @@ def save_index(result: PipelineResult, path: str | Path) -> None:
     save_checkpoint(Path(path), {"result": result}, fingerprint=INDEX_FINGERPRINT)
 
 
-def load_index(path: str | Path) -> PipelineResult:
+def load_index(
+    path: str | Path, *, cache: ContentCache | None = None
+) -> PipelineResult:
     """Load and validate a serving-index checkpoint.
+
+    With a :class:`~repro.core.cache.ContentCache`, the decoded result
+    is memoized in the cache's *memory tier* keyed on the checkpoint
+    file's exact bytes: repeated hot reloads of an unchanged index skip
+    the unpickling (the dominant cost at scale) and only re-validate.
+    A changed, corrupt, or truncated file misses by construction —
+    the key is the content.
 
     Raises
     ------
@@ -54,11 +64,21 @@ def load_index(path: str | Path) -> PipelineResult:
         When the payload is intact but not a servable
         :class:`PipelineResult`.
     """
-    payload = load_checkpoint(Path(path), fingerprint=INDEX_FINGERPRINT)
+    path = Path(path)
+    key = None
+    if cache is not None:
+        key = cache.key("service-index", path.read_bytes())
+        hit, cached_result = cache.get(key)
+        if hit:
+            return validate_result(cached_result, source=str(path))
+    payload = load_checkpoint(path, fingerprint=INDEX_FINGERPRINT)
     if not isinstance(payload, dict) or "result" not in payload:
         raise IndexValidationError(f"{path}: index payload missing 'result'")
     result = payload["result"]
     validate_result(result, source=str(path))
+    if cache is not None and key is not None:
+        # Memory tier only: the checkpoint file *is* the durable copy.
+        cache.put(key, result, disk=False)
     return result
 
 

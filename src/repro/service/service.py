@@ -284,9 +284,14 @@ class MemeMatchService:
         faults: FaultInjector | None = None,
         clock: Callable[[], float] | None = None,
         sleep: Callable[[float], None] | None = None,
+        cache=None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.faults = faults
+        # Optional repro.core.cache.ContentCache: hot reloads of an
+        # unchanged index checkpoint skip the unpickle (memory tier,
+        # keyed on file content).
+        self.cache = cache
         self.clock = time.monotonic if clock is None else clock
         self._sleep = time.sleep if sleep is None else sleep
         self.stats = ServiceStats()
@@ -334,7 +339,9 @@ class MemeMatchService:
         checkpoint_path = Path(checkpoint_path)
         try:
             self._fire("serve:reload", path=checkpoint_path)
-            monitor = self._build_monitor(load_index(checkpoint_path))
+            monitor = self._build_monitor(
+                load_index(checkpoint_path, cache=self.cache)
+            )
         except Exception as error:
             self.stats.reload_failures += 1
             return ReloadReport(

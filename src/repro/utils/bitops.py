@@ -166,7 +166,11 @@ def hamming_distance_matrix(
     parallel:
         Optional :class:`repro.utils.parallel.ParallelConfig`; rows of
         ``a`` are sharded across workers and reassembled in order, so
-        the result is identical to the serial computation.
+        the result is identical to the serial computation.  A config
+        carrying a :class:`repro.utils.parallel.CostModel` routes
+        through cost-model dispatch first (the model may pick serial
+        for call sizes where fan-out loses, as BENCH_parallel.json
+        measured for process workers shipping dense matrices back).
 
     Returns
     -------
@@ -176,6 +180,7 @@ def hamming_distance_matrix(
     from repro.utils.parallel import (
         Executor,
         array_splitter,
+        kernel_timer,
         resolve_parallel,
         shard_bounds,
         strict_supervision,
@@ -183,14 +188,21 @@ def hamming_distance_matrix(
 
     a = np.ascontiguousarray(a, dtype=np.uint64)
     b = a if b is None else np.ascontiguousarray(b, dtype=np.uint64)
-    parallel = resolve_parallel(parallel)
-    if parallel.is_serial or a.size < parallel.workers * 2:
-        return _matrix_rows(a, b, chunk_size)
-    sup = Executor(parallel).supervised_starmap(
-        _matrix_rows,
-        [(a[start:stop], b, chunk_size) for start, stop in shard_bounds(a.size, parallel)],
-        policy=strict_supervision(parallel),
-        split=array_splitter(0),
-        merge=_merge_matrix_rows,
+    units = int(a.size) * int(b.size)
+    parallel = resolve_parallel(parallel).dispatched(
+        "hamming_distance_matrix", units
     )
-    return np.concatenate(sup.results, axis=0)
+    if parallel.is_serial or a.size < parallel.workers * 2:
+        with kernel_timer(
+            parallel, "hamming_distance_matrix", units, backend="serial"
+        ):
+            return _matrix_rows(a, b, chunk_size)
+    with kernel_timer(parallel, "hamming_distance_matrix", units):
+        sup = Executor(parallel).supervised_starmap(
+            _matrix_rows,
+            [(a[start:stop], b, chunk_size) for start, stop in shard_bounds(a.size, parallel)],
+            policy=strict_supervision(parallel),
+            split=array_splitter(0),
+            merge=_merge_matrix_rows,
+        )
+        return np.concatenate(sup.results, axis=0)

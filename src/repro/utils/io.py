@@ -31,6 +31,7 @@ import csv
 import hashlib
 import os
 import pickle
+import tempfile
 import time
 from pathlib import Path
 
@@ -180,9 +181,14 @@ class CheckpointLock:
 def save_checkpoint(path: str | Path, payload: object, *, fingerprint: str) -> None:
     """Atomically write ``payload`` as an integrity-checked checkpoint.
 
-    The write goes to a sibling temp file first and is renamed into
-    place, so a crash mid-write never leaves a half-written file under
-    the checkpoint's name.
+    The write goes to a uniquely-named sibling temp file first (fsynced,
+    then renamed into place), so a crash mid-write never leaves a
+    half-written file under the checkpoint's name — and two processes
+    writing the same entry never trample each other's temp file.  The
+    latter matters for the content-addressed cache, which (unlike the
+    stage-checkpoint directory) is shared between runs without a
+    :class:`CheckpointLock`: concurrent writers of one key race only on
+    the final rename, and both rename a complete, identical blob.
     """
     path = Path(path)
     fingerprint_bytes = fingerprint.encode("utf-8")
@@ -196,9 +202,21 @@ def save_checkpoint(path: str | Path, payload: object, *, fingerprint: str) -> N
         + len(payload_bytes).to_bytes(8, "big")
         + payload_bytes
     )
-    temp = path.with_name(path.name + ".tmp")
-    temp.write_bytes(blob)
-    temp.replace(path)
+    fd, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_checkpoint(path: str | Path, *, fingerprint: str | None = None) -> object:

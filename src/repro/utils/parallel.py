@@ -70,16 +70,35 @@ implements the hook — raise-type faults raise right there in the
 parent, while ``hang``/``kill`` faults return a :class:`ChaosDirective`
 that ships into the worker (sleep past the deadline / ``os._exit``),
 so hang detection and worker-death recovery are testable end to end.
+
+**Cost-model dispatch.** ``BENCH_parallel.json`` caught two hot paths
+where unconditional fan-out was *slower* than serial
+(``hamming_distance_matrix`` 0.07x under process workers — pickling a
+dense matrix back dwarfs the compute; ``associate_hashes`` 0.94x) on a
+host whose ``os.cpu_count()`` was below the requested worker count.
+:class:`CostModel` fixes both failure classes: it caps effective
+workers at the host's core count (oversubscribed CPU-bound fan-outs
+cannot win) and keeps a small per-kernel throughput calibration
+(units/second per backend, EWMA over observed runs, JSON-persisted in
+the cache directory) from which it estimates serial vs thread vs
+process wall time per call and dispatches the cheapest.  The model is
+strictly opt-in — ``ParallelConfig.cost_model`` is ``None`` unless a
+caller (the CLI's ``--cost-dispatch``, the benchmarks) attaches one —
+so supervised-execution semantics and chaos drills are untouched by
+default, and dispatch changes only wall time, never results (a
+dispatched-to-serial kernel runs the identical serial code path).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 import warnings
 from concurrent import futures as _futures
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.utils.retry import RetryPolicy, retry_call
@@ -89,6 +108,7 @@ __all__ = [
     "ENV_BACKEND",
     "ENV_WORKERS",
     "ChaosDirective",
+    "CostModel",
     "ExecutionReport",
     "Executor",
     "ParallelConfig",
@@ -97,12 +117,15 @@ __all__ = [
     "SupervisedResult",
     "SupervisionPolicy",
     "array_splitter",
+    "effective_workers",
+    "kernel_timer",
     "parallel_map",
     "parallel_starmap",
     "range_splitter",
     "resolve_parallel",
     "shard_bounds",
     "strict_supervision",
+    "warn_if_oversubscribed",
 ]
 
 T = TypeVar("T")
@@ -112,6 +135,37 @@ BACKENDS = ("auto", "serial", "thread", "process")
 
 ENV_WORKERS = "REPRO_WORKERS"
 ENV_BACKEND = "REPRO_PARALLEL_BACKEND"
+
+
+def effective_workers(workers: int) -> int:
+    """Workers that can actually run concurrently on this host.
+
+    CPU-bound kernels (everything in this codebase) gain nothing from
+    more workers than cores; process workers *lose* (extra pickling and
+    context switching for zero extra parallelism).
+    """
+    return max(1, min(int(workers), os.cpu_count() or int(workers)))
+
+
+def warn_if_oversubscribed(workers: int, *, source: str) -> int:
+    """Warn when a requested worker count exceeds ``os.cpu_count()``.
+
+    BENCH_parallel.json once recorded ``workers=4`` on a
+    ``cpu_count=1`` host with sub-1x "speedups" and no signal of why;
+    this surfaces the oversubscription as a :class:`RuntimeWarning` at
+    configuration time.  Returns the effective (capped) worker count so
+    callers can record it alongside the requested one.
+    """
+    cpu = os.cpu_count()
+    if cpu is not None and workers > cpu:
+        warnings.warn(
+            f"{source} requests {workers} workers but this host has "
+            f"{cpu} CPU(s); CPU-bound fan-outs cannot run more than "
+            f"{cpu} shard(s) at once (effective parallelism {cpu})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return effective_workers(workers)
 
 
 @dataclass(frozen=True)
@@ -142,6 +196,12 @@ class ParallelConfig:
         consulted before every supervised shard attempt; see
         :meth:`repro.core.faults.FaultInjector.parallel_directive`.
         Test/drill only; never pickled to workers.
+    cost_model:
+        Optional :class:`CostModel`.  When set, kernel call sites route
+        through :meth:`dispatched` before fanning out, letting the
+        model pick serial/thread/process per call and cap workers at
+        the core count.  ``None`` (the default, including via
+        :meth:`from_env`) keeps the historical unconditional fan-out.
     """
 
     workers: int = 1
@@ -149,6 +209,7 @@ class ParallelConfig:
     chunk_size: int | None = None
     supervision: "SupervisionPolicy | None" = None
     chaos: Callable[[str], "ChaosDirective | None"] | None = None
+    cost_model: "CostModel | None" = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -170,6 +231,19 @@ class ParallelConfig:
     def is_serial(self) -> bool:
         """True when execution degenerates to a plain loop."""
         return self.workers <= 1 or self.resolved_backend() == "serial"
+
+    def dispatched(self, kernel: str, units: int) -> "ParallelConfig":
+        """The effective config for one kernel call of ``units`` work.
+
+        With no :attr:`cost_model` (the default) this is the identity —
+        call sites behave exactly as before.  With one, the model picks
+        the cheapest backend for this call size and caps workers at the
+        host's core count; the result is bit-identical either way, only
+        wall time changes.
+        """
+        if self.cost_model is None or self.is_serial:
+            return self
+        return self.cost_model.choose(kernel, int(units), self)
 
     @classmethod
     def from_env(cls, env=None) -> "ParallelConfig":
@@ -202,7 +276,10 @@ class ParallelConfig:
                 stacklevel=2,
             )
             backend = "auto"
-        return cls(workers=max(1, workers), backend=backend)
+        workers = max(1, workers)
+        if workers > 1:
+            warn_if_oversubscribed(workers, source=ENV_WORKERS)
+        return cls(workers=workers, backend=backend)
 
 
 def resolve_parallel(parallel: ParallelConfig | None) -> ParallelConfig:
@@ -231,6 +308,241 @@ def shard_bounds(
         (start, min(start + size, n_items))
         for start in range(0, n_items, size)
     ]
+
+
+# ----------------------------------------------------------------------
+# Cost-model dispatch
+# ----------------------------------------------------------------------
+
+# Fallback pool spawn+roundtrip cost when a backend was never measured
+# on this host.  Process pools fork an interpreter per worker; thread
+# pools are near-free.  Real measurements (calibrate_overhead) replace
+# these.
+_DEFAULT_POOL_OVERHEAD_S = {"thread": 0.005, "process": 0.35}
+
+
+def _noop() -> None:
+    """Module-level no-op so process pools can pickle the probe task."""
+
+
+class CostModel:
+    """Per-kernel throughput calibration driving backend dispatch.
+
+    The model keeps, per kernel name, an EWMA of observed throughput
+    (``units``/second — each call site picks its own unit: matrix
+    cells, queries, unique hashes) per backend, plus a measured
+    pool-spawn overhead per backend.  :meth:`choose` estimates the wall
+    time of serial vs thread vs process execution for a concrete call
+    and returns the cheapest as a :class:`ParallelConfig`:
+
+    * workers are always capped at ``cpu_count`` (oversubscribed
+      CPU-bound fan-outs cannot win — see BENCH_parallel.json's 0.07x
+      ``hamming_distance_matrix`` record from a 1-core host);
+    * a backend with an observed rate uses it directly; an unobserved
+      pool backend is modelled optimistically as ideal scaling of the
+      serial rate plus spawn overhead, so dispatch only deviates from
+      the requested config once evidence (or the core-count cap) says
+      it should;
+    * with no serial calibration at all, the requested config is kept
+      (capped) — first calls observe, later calls dispatch.
+
+    State persists as JSON (``path``), conventionally inside the
+    content cache's directory, so calibration survives across runs
+    like every other cached artefact.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        cpu_count: int | None = None,
+        ewma: float = 0.5,
+    ) -> None:
+        if not 0.0 < ewma <= 1.0:
+            raise ValueError("ewma must be in (0, 1]")
+        self.path = Path(path) if path is not None else None
+        self.cpu_count = (
+            int(cpu_count) if cpu_count is not None else (os.cpu_count() or 1)
+        )
+        self.ewma = ewma
+        self.rates: dict[str, dict[str, float]] = {}
+        self.overheads: dict[str, float] = {}
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    # -- calibration ---------------------------------------------------
+
+    def observe(
+        self, kernel: str, backend: str, units: int, seconds: float
+    ) -> None:
+        """Record one observed run of ``kernel`` on ``backend``."""
+        if units <= 0 or seconds <= 0:
+            return
+        rate = units / seconds
+        slot = self.rates.setdefault(kernel, {})
+        previous = slot.get(backend)
+        slot[backend] = (
+            rate
+            if previous is None
+            else (1.0 - self.ewma) * previous + self.ewma * rate
+        )
+
+    def calibrate(self, kernel: str, fn: Callable[[], object], units: int):
+        """Time one serial run of ``fn`` as the kernel's serial rate."""
+        started = time.perf_counter()
+        value = fn()
+        self.observe(kernel, "serial", units, time.perf_counter() - started)
+        return value
+
+    def calibrate_overhead(self, backend: str, *, workers: int = 2) -> float:
+        """Measure pool spawn + no-op roundtrip cost for ``backend``."""
+        if backend not in ("thread", "process"):
+            raise ValueError(f"no pool overhead for backend {backend!r}")
+        pool_cls = (
+            ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+        )
+        started = time.perf_counter()
+        with pool_cls(max_workers=workers) as pool:
+            pool.submit(_noop).result()
+        elapsed = time.perf_counter() - started
+        self.overheads[backend] = elapsed
+        return elapsed
+
+    def pool_overhead(self, backend: str) -> float:
+        return self.overheads.get(
+            backend, _DEFAULT_POOL_OVERHEAD_S.get(backend, 0.1)
+        )
+
+    # -- estimation and dispatch ---------------------------------------
+
+    def estimate(
+        self, kernel: str, backend: str, units: int, workers: int
+    ) -> float | None:
+        """Estimated wall seconds, or ``None`` when unestimable."""
+        slot = self.rates.get(kernel, {})
+        if backend == "serial":
+            rate = slot.get("serial")
+            return None if rate is None else units / rate
+        rate = slot.get(backend)
+        if rate is not None:
+            return self.pool_overhead(backend) + units / rate
+        serial_rate = slot.get("serial")
+        if serial_rate is None:
+            return None
+        # Unobserved pool backend: assume ideal scaling of the serial
+        # rate (optimistic — dispatch keeps fan-outs unless overhead or
+        # the core cap clearly dominates; observations then correct it).
+        return self.pool_overhead(backend) + units / (
+            serial_rate * max(1, workers)
+        )
+
+    def choose(
+        self, kernel: str, units: int, parallel: "ParallelConfig"
+    ) -> "ParallelConfig":
+        """The cheapest config for one call of ``units`` work."""
+        workers = max(1, min(parallel.workers, self.cpu_count))
+        serial_config = replace(parallel, workers=1, backend="serial")
+        if workers <= 1:
+            return serial_config
+        estimates: dict[str, float] = {}
+        serial_estimate = self.estimate(kernel, "serial", units, 1)
+        if serial_estimate is None:
+            # Uncalibrated kernel: keep the requested behaviour, capped.
+            if workers == parallel.workers:
+                return parallel
+            return replace(parallel, workers=workers)
+        estimates["serial"] = serial_estimate
+        for backend in ("thread", "process"):
+            estimate = self.estimate(kernel, backend, units, workers)
+            if estimate is not None:
+                estimates[backend] = estimate
+        # Insertion order breaks ties: serial wins exact ties.
+        best = min(estimates, key=estimates.get)
+        if best == "serial":
+            return serial_config
+        return replace(parallel, workers=workers, backend=best)
+
+    # -- persistence ---------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "cpu_count": self.cpu_count,
+            "rates": {k: dict(v) for k, v in self.rates.items()},
+            "overheads": dict(self.overheads),
+        }
+
+    def save(self, path: str | Path | None = None) -> None:
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no path to save the cost model to")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        temp = target.with_name(target.name + ".tmp")
+        temp.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True))
+        temp.replace(target)
+
+    def load(self, path: str | Path) -> None:
+        """Merge persisted calibration; malformed files are ignored
+        (stale calibration only costs a re-observation, never an error)."""
+        try:
+            data = json.loads(Path(path).read_text())
+            rates = data.get("rates", {})
+            overheads = data.get("overheads", {})
+            if not isinstance(rates, dict) or not isinstance(overheads, dict):
+                return
+            for kernel, slot in rates.items():
+                if isinstance(slot, dict):
+                    self.rates[str(kernel)] = {
+                        str(b): float(r) for b, r in slot.items()
+                    }
+            for backend, overhead in overheads.items():
+                self.overheads[str(backend)] = float(overhead)
+        except (OSError, ValueError, TypeError):
+            return
+
+
+class _KernelTimer:
+    """Times a kernel call and feeds the observation into a cost model."""
+
+    def __init__(self, cost_model, kernel: str, backend: str, units: int):
+        self._cost_model = cost_model
+        self._kernel = kernel
+        self._backend = backend
+        self._units = units
+        self._started = 0.0
+
+    def __enter__(self) -> "_KernelTimer":
+        if self._cost_model is not None:
+            self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._cost_model is not None and exc_type is None:
+            self._cost_model.observe(
+                self._kernel,
+                self._backend,
+                self._units,
+                time.perf_counter() - self._started,
+            )
+
+
+def kernel_timer(
+    parallel: "ParallelConfig",
+    kernel: str,
+    units: int,
+    *,
+    backend: str | None = None,
+):
+    """Context manager observing one kernel run into ``parallel``'s cost
+    model; a zero-cost no-op when the config carries none.  ``backend``
+    overrides the observed label for call sites whose small-input guard
+    runs serially under a pool config."""
+    return _KernelTimer(
+        parallel.cost_model,
+        kernel,
+        backend if backend is not None else parallel.resolved_backend(),
+        units,
+    )
 
 
 # ----------------------------------------------------------------------

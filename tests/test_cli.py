@@ -108,3 +108,67 @@ class TestExitCodes:
         assert code == 0
         assert "conserved: 4 submitted" in out
         assert "dead-letter" in out  # the poison lines are accounted
+
+
+class TestCacheCommand:
+    ARGS = ["--seed", "3", "--events-unit", "18", "--noise-scale", "0.5"]
+
+    def test_cache_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
+    def test_subcommand_rejected_outside_cache(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--cache-dir", str(tmp_path), "overview", "clear"])
+
+    def test_unknown_cache_action_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--cache-dir", str(tmp_path), "cache", "defrag"])
+
+    def test_info_on_empty_cache(self, capsys, tmp_path):
+        code = main(["--cache-dir", str(tmp_path), "cache"])
+        assert code == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_warm_rerun_reports_cached_stages(self, capsys, tmp_path):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(self.ARGS + cache + ["overview"]) == 0
+        cold_out = capsys.readouterr().out
+        assert "cached" not in cold_out
+        assert main(self.ARGS + cache + ["overview"]) == 0
+        warm_out = capsys.readouterr().out
+        assert warm_out.count("cached") >= 4  # every stage hit
+        # The cache command now sees the stored entries.
+        assert main(cache + ["cache", "info"]) == 0
+        info = capsys.readouterr().out
+        assert "0 entries" not in info
+        # And clear empties it again.
+        assert main(cache + ["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(cache + ["cache"]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_no_cache_flag_disables_caching(self, capsys, tmp_path):
+        cache = ["--cache-dir", str(tmp_path), "--no-cache"]
+        assert main(self.ARGS + cache + ["overview"]) == 0
+        assert main(self.ARGS + cache + ["overview"]) == 0
+        assert "cached" not in capsys.readouterr().out
+        assert list(tmp_path.glob("*/*.ckpt")) == []
+
+    def test_cost_dispatch_persists_calibration(self, tmp_path):
+        cache = ["--cache-dir", str(tmp_path), "--cost-dispatch",
+                 "--workers", "2", "--parallel-backend", "thread"]
+        assert main(self.ARGS + cache + ["overview"]) == 0
+        assert (tmp_path / "cost_model.json").exists()
+
+
+class TestWorkerOversubscription:
+    def test_workers_flag_warns_when_over_cpu_count(self, monkeypatch):
+        import repro.utils.parallel as par
+        from repro.cli import _parallel_config
+
+        monkeypatch.setattr(par.os, "cpu_count", lambda: 1)
+        args = build_parser().parse_args(["--workers", "8", "overview"])
+        with pytest.warns(RuntimeWarning, match="--workers"):
+            config = _parallel_config(args)
+        assert config.workers == 8  # requested count kept; dispatch caps it

@@ -98,3 +98,68 @@ class TestMultiIndexHash:
         query = int(hashes[0]) ^ 0b111  # distance 3 from hashes[0]
         found = {i for i, _ in index.query(query, 23)}
         assert found == brute_force(hashes, query, 23)
+
+
+class TestBKTreeIterative:
+    """The add/query loops must be iterative: a pathological insertion
+    order can chain nodes thousands deep, far past the recursion limit."""
+
+    def test_five_thousand_deep_chain(self, monkeypatch):
+        import sys
+
+        import repro.hashing.index as mod
+
+        # Discrete metric: every pair of distinct values is at distance
+        # 1, so sequential insertion builds one 5000-node chain.
+        monkeypatch.setattr(
+            mod, "hamming_distance", lambda a, b: 0 if a == b else 1
+        )
+        tree = mod.BKTree()
+        n = 5000
+        assert n > sys.getrecursionlimit()
+        for value in range(n):
+            tree.add(value, value)
+        assert len(tree) == n
+        # Exact query walks the whole chain (children at distance 1 stay
+        # in range even for radius 0 because d - r <= 1 <= d + r).
+        assert (n - 1, 1) in tree.query(0, 1)
+        hits = tree.query(123, 0)
+        assert (123, 0) in hits
+
+    def test_duplicate_values_share_a_node(self):
+        tree = BKTree()
+        tree.add(7, 0)
+        tree.add(7, 1)
+        assert len(tree) == 2
+        assert sorted(tree.query(7, 0)) == [(0, 0), (1, 0)]
+
+
+class TestMultiIndexAdd:
+    def test_add_matches_fresh_build(self):
+        rng = np.random.default_rng(11)
+        hashes = rng.integers(0, 2**64, size=400, dtype=np.uint64)
+        fresh = MultiIndexHash(hashes)
+        grown = MultiIndexHash(hashes[:300])
+        grown.add(hashes[300:])
+        assert np.array_equal(fresh.hashes, grown.hashes)
+        for query in hashes[::37]:
+            for radius in (0, 2, 8):
+                assert fresh.query(int(query), radius) == grown.query(
+                    int(query), radius
+                )
+
+    def test_add_empty_is_noop(self):
+        rng = np.random.default_rng(12)
+        hashes = rng.integers(0, 2**64, size=50, dtype=np.uint64)
+        index = MultiIndexHash(hashes)
+        index.add(np.empty(0, dtype=np.uint64))
+        assert np.array_equal(index.hashes, hashes)
+
+    def test_add_to_empty_index(self):
+        rng = np.random.default_rng(13)
+        hashes = rng.integers(0, 2**64, size=80, dtype=np.uint64)
+        index = MultiIndexHash(np.empty(0, dtype=np.uint64))
+        index.add(hashes)
+        fresh = MultiIndexHash(hashes)
+        for query in hashes[::11]:
+            assert fresh.query(int(query), 4) == index.query(int(query), 4)

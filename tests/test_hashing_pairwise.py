@@ -6,7 +6,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hashing.pairwise import (
+    merge_radius_neighbors,
     pairwise_distances,
+    patch_radius_neighbors,
     radius_neighbors,
     unique_hashes,
 )
@@ -161,3 +163,62 @@ class TestUniqueHashes:
         assert inverse.ndim == 1
         assert inverse.shape == (4,)
         assert np.array_equal(unique[inverse], hashes.reshape(-1))
+
+
+class TestIncrementalNeighbors:
+    """patch/merge must be bit-identical to a cold recompute — they are
+    the delta path behind incremental clustering."""
+
+    def _cold(self, hashes, radius):
+        return radius_neighbors(hashes, radius, method="mih")
+
+    def test_patch_matches_cold_concat(self):
+        hashes = clustered_hashes(40, 6, seed=3)
+        prev, new = hashes[:180], hashes[180:]
+        for radius in (0, 2, 8):
+            patched = patch_radius_neighbors(
+                prev, self._cold(prev, radius), new, radius
+            )
+            cold = self._cold(hashes, radius)
+            assert len(patched) == len(cold)
+            for row_patched, row_cold in zip(patched, cold):
+                assert np.array_equal(row_patched, row_cold)
+
+    def test_patch_with_no_new_hashes(self):
+        hashes = clustered_hashes(10, 4, seed=4)
+        rows = self._cold(hashes, 4)
+        patched = patch_radius_neighbors(
+            hashes, rows, np.empty(0, dtype=np.uint64), 4
+        )
+        for row_patched, row_cold in zip(patched, rows):
+            assert np.array_equal(row_patched, row_cold)
+
+    def test_patch_validates_row_count(self):
+        hashes = clustered_hashes(4, 2, seed=5)
+        with pytest.raises(ValueError, match="rows"):
+            patch_radius_neighbors(hashes, [], hashes, 2)
+
+    def test_merge_matches_cold_union(self):
+        hashes = clustered_hashes(30, 5, seed=6)
+        all_unique = np.unique(hashes)
+        prev = np.unique(hashes[:100])
+        added = np.setdiff1d(all_unique, prev)
+        for radius in (2, 8):
+            combined, merged = merge_radius_neighbors(
+                prev, self._cold(prev, radius), added, radius
+            )
+            assert np.array_equal(combined, all_unique)
+            cold = self._cold(all_unique, radius)
+            for row_merged, row_cold in zip(merged, cold):
+                assert np.array_equal(row_merged, row_cold)
+
+    def test_merge_validates_ordering_and_overlap(self):
+        prev = np.array([5, 3], dtype=np.uint64)  # not increasing
+        with pytest.raises(ValueError, match="increasing"):
+            merge_radius_neighbors(prev, [np.array([0]), np.array([1])], prev, 2)
+        prev = np.array([3, 5], dtype=np.uint64)
+        rows = radius_neighbors(prev, 2)
+        with pytest.raises(ValueError, match="overlaps"):
+            merge_radius_neighbors(
+                prev, rows, np.array([5], dtype=np.uint64), 2
+            )

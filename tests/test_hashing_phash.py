@@ -91,3 +91,38 @@ class TestSensitivity:
         inverted = 1.0 - image
         # Inverting intensity flips the DCT signs -> far-away hash.
         assert hamming_distance(phash(image), phash(inverted)) > 20
+
+
+class TestCachedBatch:
+    def test_cached_batch_matches_uncached(self, templates):
+        from repro.core.cache import ContentCache
+
+        images = [t.render(64) for t in templates]
+        cache = ContentCache()
+        cold = phash_batch(images, cache=cache)
+        warm = phash_batch(images, cache=cache)
+        assert np.array_equal(cold, phash_batch(images))
+        assert np.array_equal(cold, warm)
+        assert warm.dtype == np.uint64
+        assert cache.stats.hits == len(images)
+
+    def test_only_new_images_are_hashed(self, templates, monkeypatch):
+        import importlib
+
+        from repro.core.cache import ContentCache
+
+        # ``import repro.hashing.phash`` would bind the *function* the
+        # package re-exports under the same name; fetch the module itself.
+        mod = importlib.import_module("repro.hashing.phash")
+        images = [t.render(64) for t in templates]
+        calls = []
+        real_phash = mod.phash
+        monkeypatch.setattr(
+            mod, "phash", lambda img, **kw: calls.append(1) or real_phash(img, **kw)
+        )
+        cache = ContentCache()
+        phash_batch(images[:6], cache=cache)
+        assert len(calls) == 6
+        grown = phash_batch(images, cache=cache)  # 6 old + the rest new
+        assert len(calls) == len(images), "old rasters must not be re-hashed"
+        assert np.array_equal(grown, np.array([real_phash(i) for i in images]))

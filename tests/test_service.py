@@ -463,3 +463,58 @@ class TestBitIdentityWithBareMonitor:
         service = MemeMatchService(pipeline_result, config=identity_config())
         responses = service.serve(int(h) for h in hashes)
         assert [r.verdict for r in responses] == expected
+
+
+class TestIndexCache:
+    def test_repeat_load_hits_memory_tier(self, tmp_path):
+        from repro.core.cache import ContentCache
+
+        path = tmp_path / "index.ckpt"
+        save_index(tiny_result(), path)
+        cache = ContentCache()
+        first = load_index(path, cache=cache)
+        second = load_index(path, cache=cache)
+        assert second is first  # the very object, no re-unpickle
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        # Memory tier only: no entry files written next to anything.
+        assert cache.entries() == []
+
+    def test_changed_file_misses_by_content(self, tmp_path):
+        from repro.core.cache import ContentCache
+
+        path = tmp_path / "index.ckpt"
+        save_index(tiny_result(), path)
+        cache = ContentCache()
+        load_index(path, cache=cache)
+        save_index(tiny_result(names=("new-a", "new-b")), path)
+        swapped = load_index(path, cache=cache)
+        assert swapped.annotations[ClusterKey("pol", 0)].representative == "new-a"
+        assert cache.stats.misses == 2
+
+    def test_corruption_detected_before_cache_consulted(self, tmp_path):
+        from repro.core.cache import ContentCache
+        from repro.core.faults import corrupt_file
+        from repro.utils.io import CheckpointError
+
+        path = tmp_path / "index.ckpt"
+        save_index(tiny_result(), path)
+        cache = ContentCache()
+        load_index(path, cache=cache)
+        corrupt_file(path, mode="flip")
+        # Corrupt bytes make a different key -> miss -> the container's
+        # digest check raises exactly as it would without a cache.
+        with pytest.raises(CheckpointError):
+            load_index(path, cache=cache)
+
+    def test_service_reload_uses_the_cache(self, tmp_path):
+        from repro.core.cache import ContentCache
+
+        path = tmp_path / "index.ckpt"
+        save_index(tiny_result(names=("merchant-v2", "pepe-v2")), path)
+        cache = ContentCache()
+        service = make_service(config=identity_config(), cache=cache)
+        assert service.reload_index(path).ok
+        assert service.reload_index(path).ok
+        assert cache.stats.hits == 1
+        [response] = service.serve([MEDOID_A])
+        assert response.verdict.entry == "merchant-v2"

@@ -154,6 +154,52 @@ class TestCheckpoints:
         save_checkpoint(path, "new", fingerprint="fp")
         assert load_checkpoint(path, fingerprint="fp") == "new"
 
+    def test_failed_write_cleans_temp_and_keeps_previous(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.utils.io as io_mod
+
+        path = tmp_path / "stage.ckpt"
+        save_checkpoint(path, "old", fingerprint="fp")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(io_mod.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_checkpoint(path, "new", fingerprint="fp")
+        monkeypatch.undo()
+        # No temp residue, and the previous entry is still readable.
+        assert [p.name for p in tmp_path.iterdir()] == ["stage.ckpt"]
+        assert load_checkpoint(path, fingerprint="fp") == "old"
+
+    def test_interleaved_writers_never_share_a_temp_file(
+        self, tmp_path, monkeypatch
+    ):
+        """Two unsynchronised writers of one cache entry must not trample
+        each other's in-progress temp file; the loser of the final rename
+        race still renames a complete blob."""
+        import repro.utils.io as io_mod
+
+        path = tmp_path / "entry.ckpt"
+        real_replace = io_mod.os.replace
+        seen_temps = []
+
+        def second_writer_races_in(src, dst):
+            seen_temps.append(src)
+            if len(seen_temps) == 1:
+                # While writer A sits between write and rename, writer B
+                # runs start-to-finish against the same destination.
+                save_checkpoint(path, "B", fingerprint="fp")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(io_mod.os, "replace", second_writer_races_in)
+        save_checkpoint(path, "A", fingerprint="fp")
+        assert len(set(seen_temps)) == len(seen_temps) == 2
+        # Last rename wins; either way the entry is complete and valid.
+        assert load_checkpoint(path, fingerprint="fp") == "A"
+        assert [p.name for p in tmp_path.iterdir()] == ["entry.ckpt"]
+
 
 class TestCheckpointLock:
     def test_acquire_writes_pid_and_release_removes(self, tmp_path):

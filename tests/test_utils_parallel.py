@@ -12,17 +12,21 @@ from repro.utils.parallel import (
     ENV_BACKEND,
     ENV_WORKERS,
     ChaosDirective,
+    CostModel,
     Executor,
     ParallelConfig,
     PoisonShardError,
     SupervisionPolicy,
     array_splitter,
+    effective_workers,
+    kernel_timer,
     parallel_map,
     parallel_starmap,
     range_splitter,
     resolve_parallel,
     shard_bounds,
     strict_supervision,
+    warn_if_oversubscribed,
 )
 from repro.utils.retry import RetryPolicy
 
@@ -112,7 +116,12 @@ class TestEnvResolution:
             config = ParallelConfig.from_env(env={ENV_WORKERS: "4x"})
         assert config.workers == 1 and config.is_serial
 
-    def test_wellformed_env_does_not_warn(self):
+    def test_wellformed_env_does_not_warn(self, monkeypatch):
+        import repro.utils.parallel as mod
+
+        # Pin cpu_count above the requested workers: this test is about
+        # malformed-value warnings, not the oversubscription warning.
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 8)
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             config = ParallelConfig.from_env(
@@ -549,3 +558,142 @@ def _wide_shard_fails(start, stop):
     if stop - start > 2:
         raise MemoryError(f"shard [{start}, {stop}) too wide")
     return list(range(start, stop))
+
+
+class TestWorkerBudget:
+    def test_effective_workers_caps_at_cpu_count(self, monkeypatch):
+        import repro.utils.parallel as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 2)
+        assert effective_workers(8) == 2
+        assert effective_workers(1) == 1
+        assert effective_workers(2) == 2
+
+    def test_effective_workers_unknown_cpu_count(self, monkeypatch):
+        import repro.utils.parallel as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: None)
+        assert effective_workers(6) == 6
+
+    def test_oversubscription_warns_and_caps(self, monkeypatch):
+        import repro.utils.parallel as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="2 CPU"):
+            assert warn_if_oversubscribed(8, source="--workers") == 2
+
+    def test_within_budget_is_silent(self, monkeypatch):
+        import repro.utils.parallel as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert warn_if_oversubscribed(4, source="--workers") == 4
+
+    def test_from_env_warns_on_oversubscription(self, monkeypatch):
+        import repro.utils.parallel as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning, match=ENV_WORKERS):
+            config = ParallelConfig.from_env({ENV_WORKERS: "8"})
+        assert config.workers == 8  # requested count preserved, only warned
+
+    def test_from_env_warns_on_malformed_workers(self):
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            config = ParallelConfig.from_env({ENV_WORKERS: "lots"})
+        assert config.workers == 1
+
+    def test_from_env_warns_on_malformed_backend(self):
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            config = ParallelConfig.from_env({ENV_BACKEND: "gpu"})
+        assert config.backend == "auto"
+
+
+class TestCostModel:
+    def test_observe_sets_then_smooths_rate(self):
+        model = CostModel(cpu_count=2, ewma=0.5)
+        model.observe("k", "serial", units=100, seconds=1.0)
+        assert model.rates["k"]["serial"] == pytest.approx(100.0)
+        model.observe("k", "serial", units=300, seconds=1.0)
+        assert model.rates["k"]["serial"] == pytest.approx(200.0)  # EWMA
+
+    def test_observe_ignores_degenerate_samples(self):
+        model = CostModel(cpu_count=2)
+        model.observe("k", "serial", units=0, seconds=1.0)
+        model.observe("k", "serial", units=10, seconds=0.0)
+        assert "k" not in model.rates
+
+    def test_single_core_host_always_dispatches_serial(self):
+        model = CostModel(cpu_count=1)
+        requested = ParallelConfig(workers=4, backend="process")
+        chosen = model.choose("k", 10_000, requested)
+        assert chosen.is_serial and chosen.workers == 1
+
+    def test_uncalibrated_kernel_keeps_requested_config_capped(self):
+        model = CostModel(cpu_count=2)
+        requested = ParallelConfig(workers=8, backend="thread")
+        chosen = model.choose("k", 10_000, requested)
+        assert chosen.backend == "thread" and chosen.workers == 2
+
+    def test_small_call_dispatches_serial_despite_pool_request(self):
+        model = CostModel(cpu_count=4)
+        model.observe("k", "serial", units=1_000_000, seconds=1.0)
+        # Pool overhead (defaults) dwarfs the microseconds of real work.
+        chosen = model.choose("k", 100, ParallelConfig(workers=4, backend="process"))
+        assert chosen.is_serial
+
+    def test_large_call_keeps_the_pool_when_observed_faster(self):
+        model = CostModel(cpu_count=4)
+        model.observe("k", "serial", units=1_000, seconds=1.0)  # 1k u/s
+        model.observe("k", "thread", units=100_000, seconds=1.0)  # 100k u/s
+        chosen = model.choose("k", 50_000, ParallelConfig(workers=8, backend="thread"))
+        assert chosen.backend == "thread"
+        assert chosen.workers == 4  # capped at cpu_count
+
+    def test_dispatched_is_identity_without_model_or_when_serial(self):
+        base = ParallelConfig(workers=4, backend="thread")
+        assert base.dispatched("k", 100) is base
+        serial = ParallelConfig(cost_model=CostModel(cpu_count=4))
+        assert serial.dispatched("k", 100) is serial
+
+    def test_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "cost_model.json"
+        model = CostModel(path, cpu_count=2)
+        model.observe("k", "serial", units=500, seconds=1.0)
+        model.overheads["process"] = 0.25
+        model.save()
+        reloaded = CostModel(path, cpu_count=2)  # auto-loads
+        assert reloaded.rates["k"]["serial"] == pytest.approx(500.0)
+        assert reloaded.pool_overhead("process") == pytest.approx(0.25)
+
+    def test_malformed_persisted_state_is_ignored(self, tmp_path):
+        path = tmp_path / "cost_model.json"
+        path.write_text("not json at all {")
+        model = CostModel(path, cpu_count=2)
+        assert model.rates == {}
+
+    def test_kernel_timer_observes_resolved_backend(self):
+        model = CostModel(cpu_count=4)
+        config = ParallelConfig(workers=2, backend="thread", cost_model=model)
+        with kernel_timer(config, "k", 1_000):
+            time.sleep(0.001)
+        assert "thread" in model.rates["k"]
+
+    def test_kernel_timer_backend_override(self):
+        model = CostModel(cpu_count=4)
+        config = ParallelConfig(workers=2, backend="thread", cost_model=model)
+        with kernel_timer(config, "k", 1_000, backend="serial"):
+            time.sleep(0.001)
+        assert list(model.rates["k"]) == ["serial"]
+
+    def test_kernel_timer_skips_failed_runs(self):
+        model = CostModel(cpu_count=4)
+        config = ParallelConfig(workers=2, backend="thread", cost_model=model)
+        with pytest.raises(RuntimeError):
+            with kernel_timer(config, "k", 1_000):
+                raise RuntimeError("boom")
+        assert "k" not in model.rates
+
+    def test_kernel_timer_noop_without_model(self):
+        with kernel_timer(ParallelConfig(workers=2, backend="thread"), "k", 10):
+            pass  # must not raise or record anything
