@@ -1,0 +1,301 @@
+#!/usr/bin/env python
+"""Benchmark the replicated sharded index against the monolithic index.
+
+Standalone (not pytest-benchmark): run as
+
+    PYTHONPATH=src python benchmarks/bench_shard.py [--shards 4]
+        [--workers 2] [--smoke] [--output BENCH_shard.json]
+
+Two questions, each answered with a verified-identical comparison:
+
+* **Scatter-gather overhead** — ``radius_neighbors`` and
+  ``associate_hashes`` routed through N rendezvous-placed shards × R=2
+  replicas versus the monolithic single-index path, on the same
+  clustered 50k-hash workload ``bench_parallel.py`` uses.  The sharded
+  path re-does per-shard candidate grouping, so some overhead is
+  structural; the acceptance bar is ≤ 1.3x the monolith.
+* **Recovery under replica loss** — the same scatter with one replica
+  of one shard killed mid-query (``index:shard`` chaos, process
+  backend: a real worker death).  With R=2 the router fails over to
+  the twin; the record pins **zero failed queries** and bit-identical
+  results, and reports the recovery latency (chaotic minus clean
+  wall-clock).
+
+Every record verifies the sharded output element-for-element against
+the monolith before reporting a ratio — a fast wrong answer scores
+zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.annotation.association import associate_hashes
+from repro.core.faults import Fault, FaultInjector
+from repro.hashing.pairwise import radius_neighbors
+from repro.index_cluster import ShardConfig
+from repro.utils.parallel import ParallelConfig, effective_workers
+
+
+def clustered_hashes(n_bases: int, members: int, seed: int = 7) -> np.ndarray:
+    """Clustered pHash multiset: bases with 0-3 random bit flips each."""
+    rng = np.random.default_rng(seed)
+    bases = rng.integers(0, 2**64, size=n_bases, dtype=np.uint64)
+    out = np.repeat(bases, members)
+    flips = rng.integers(0, 4, size=out.size)
+    for bit in range(3):
+        mask = flips > bit
+        positions = rng.integers(0, 64, size=out.size, dtype=np.uint64)
+        out[mask] ^= np.uint64(1) << positions[mask]
+    return out
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _rows_identical(a: list[np.ndarray], b: list[np.ndarray]) -> bool:
+    return len(a) == len(b) and all(
+        np.array_equal(x, y) for x, y in zip(a, b)
+    )
+
+
+def bench_radius_overhead(
+    n_hashes: int, shards: ShardConfig, parallel: ParallelConfig
+) -> dict:
+    hashes = clustered_hashes(max(1, n_hashes // 10), 10)
+    monolith, monolith_s = _timed(
+        lambda: radius_neighbors(hashes, 8, method="mih")
+    )
+    sharded_parallel = ParallelConfig(
+        workers=parallel.workers, backend=parallel.backend, shards=shards
+    )
+    sharded, sharded_s = _timed(
+        lambda: radius_neighbors(hashes, 8, parallel=sharded_parallel)
+    )
+    return {
+        "name": "radius_neighbors_scatter_gather",
+        "n_items": int(hashes.size),
+        "radius": 8,
+        "n_shards": shards.n_shards,
+        "replication": shards.replication,
+        "monolith_s": monolith_s,
+        "sharded_s": sharded_s,
+        "overhead_x": sharded_s / monolith_s if monolith_s else float("inf"),
+        "identical": _rows_identical(monolith, sharded),
+    }
+
+
+def bench_associate_overhead(
+    n_hashes: int, n_medoids: int, shards: ShardConfig, parallel: ParallelConfig
+) -> dict:
+    rng = np.random.default_rng(13)
+    medoid_values = rng.integers(0, 2**64, size=n_medoids, dtype=np.uint64)
+    medoids = {int(i): int(v) for i, v in enumerate(medoid_values)}
+    near = np.repeat(medoid_values, 3) ^ np.uint64(1)
+    hashes = np.concatenate(
+        [near, clustered_hashes(max(1, (n_hashes - near.size) // 10), 10, seed=17)]
+    )
+    monolith, monolith_s = _timed(
+        lambda: associate_hashes(hashes, medoids, theta=8)
+    )
+    sharded_parallel = ParallelConfig(
+        workers=parallel.workers, backend=parallel.backend, shards=shards
+    )
+    sharded, sharded_s = _timed(
+        lambda: associate_hashes(
+            hashes, medoids, theta=8, parallel=sharded_parallel
+        )
+    )
+    identical = bool(
+        np.array_equal(monolith.cluster_ids, sharded.cluster_ids)
+        and np.array_equal(monolith.distances, sharded.distances)
+    )
+    return {
+        "name": "associate_hashes_scatter_gather",
+        "n_items": int(hashes.size),
+        "n_medoids": n_medoids,
+        "n_shards": shards.n_shards,
+        "replication": shards.replication,
+        "monolith_s": monolith_s,
+        "sharded_s": sharded_s,
+        "overhead_x": sharded_s / monolith_s if monolith_s else float("inf"),
+        "identical": identical,
+    }
+
+
+def bench_replica_kill_recovery(
+    n_hashes: int, shards: ShardConfig, workers: int
+) -> dict:
+    """Kill one replica of one shard mid-query; measure the rescue.
+
+    Process backend so the ``index:shard`` kill is a real worker death
+    (``os._exit`` mid-task, observed as ``BrokenProcessPool``), not a
+    polite exception.  ``failed_queries`` counts query rows the chaotic
+    run lost or got wrong versus the monolith — the acceptance bar is
+    exactly zero under R=2.
+    """
+    hashes = clustered_hashes(max(1, n_hashes // 10), 10, seed=23)
+    monolith = radius_neighbors(hashes, 8, method="mih")
+    process = ParallelConfig(workers=workers, backend="process", shards=shards)
+
+    clean, clean_s = _timed(
+        lambda: radius_neighbors(hashes, 8, parallel=process)
+    )
+    faults = FaultInjector([Fault("index:shard", action="kill", times=1)])
+    chaotic_parallel = ParallelConfig(
+        workers=workers,
+        backend="process",
+        shards=shards,
+        chaos=faults.parallel_directive,
+    )
+    chaotic, chaotic_s = _timed(
+        lambda: radius_neighbors(hashes, 8, parallel=chaotic_parallel)
+    )
+    failed_queries = sum(
+        1
+        for expected, got in zip(monolith, chaotic)
+        if not np.array_equal(expected, got)
+    ) + abs(len(monolith) - len(chaotic))
+    return {
+        "name": "replica_kill_recovery",
+        "n_items": int(hashes.size),
+        "n_shards": shards.n_shards,
+        "replication": shards.replication,
+        "fault": "index:shard@1@kill",
+        "fault_fired": "index:shard" in faults.fired_sites(),
+        "clean_s": clean_s,
+        "chaotic_s": chaotic_s,
+        "recovery_latency_s": max(0.0, chaotic_s - clean_s),
+        "failed_queries": int(failed_queries),
+        "identical": _rows_identical(monolith, chaotic),
+        "clean_identical": _rows_identical(monolith, clean),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--replication", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="backend for the overhead records (the recovery record "
+        "always uses process workers so the kill is a real death)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads: verify identity and JSON shape, skip the "
+        "overhead assertion (for CI)",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_shard.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+    shards = ShardConfig(n_shards=args.shards, replication=args.replication)
+    parallel = ParallelConfig(workers=args.workers, backend=args.backend)
+
+    if args.smoke:
+        sizes = dict(neighbors=2_000, assoc=5_000, medoids=50, chaos=2_000)
+    else:
+        sizes = dict(neighbors=50_000, assoc=50_000, medoids=500, chaos=20_000)
+
+    print(
+        f"shards={args.shards} R={args.replication} workers={args.workers} "
+        f"(effective={effective_workers(args.workers)}) "
+        f"backend={args.backend} cpus={os.cpu_count()} smoke={args.smoke}",
+        flush=True,
+    )
+    records = []
+    for record in (
+        bench_radius_overhead(sizes["neighbors"], shards, parallel),
+        bench_associate_overhead(
+            sizes["assoc"], sizes["medoids"], shards, parallel
+        ),
+        bench_replica_kill_recovery(sizes["chaos"], shards, args.workers),
+    ):
+        records.append(record)
+        detail = (
+            f"  [recovery={record['recovery_latency_s']:.3f}s, "
+            f"failed_queries={record['failed_queries']}]"
+            if "recovery_latency_s" in record
+            else f"  overhead={record['overhead_x']:.2f}x"
+        )
+        base = record.get("monolith_s", record.get("clean_s", 0.0))
+        timed = record.get("sharded_s", record.get("chaotic_s", 0.0))
+        print(
+            f"  {record['name']:34s} n={record['n_items']:>7,}  "
+            f"base={base:8.3f}s  sharded={timed:8.3f}s  "
+            f"identical={record['identical']}{detail}",
+            flush=True,
+        )
+
+    payload = {
+        "benchmark": "replicated sharded index scatter-gather (ISSUE 6)",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": {
+            "n_shards": args.shards,
+            "replication": args.replication,
+            "workers": args.workers,
+            "effective_workers": effective_workers(args.workers),
+            "backend": args.backend,
+            "smoke": args.smoke,
+        },
+        "records": records,
+    }
+    output = os.path.abspath(args.output)
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {output}")
+
+    for record in records:
+        if not record["identical"]:
+            print(
+                f"FAIL: {record['name']} diverged from the monolith",
+                file=sys.stderr,
+            )
+            return 1
+    chaos = records[-1]
+    if not chaos["fault_fired"]:
+        print("FAIL: the replica-kill fault never fired", file=sys.stderr)
+        return 1
+    if chaos["failed_queries"] != 0:
+        print(
+            f"FAIL: {chaos['failed_queries']} queries failed under "
+            "single-replica loss (must be 0 with R=2)",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.smoke:
+        for record in records[:2]:
+            if record["overhead_x"] > 1.3:
+                print(
+                    f"FAIL: {record['name']} scatter-gather overhead "
+                    f"{record['overhead_x']:.2f}x > 1.3x vs the monolith",
+                    file=sys.stderr,
+                )
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

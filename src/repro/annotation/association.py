@@ -134,9 +134,23 @@ def associate_hashes(
     # numpy >= 2.0 shapes return_inverse like the input; flatten so the
     # memoised scatter below works on both 1.26 and 2.x.
     inverse = inverse.reshape(-1)
-    parallel = resolve_parallel(parallel).dispatched(
-        "associate_hashes", int(unique.size)
-    )
+    parallel = resolve_parallel(parallel)
+    if parallel.shards is not None:
+        # Medoids partitioned over the replicated index cluster; the
+        # scatter-gather winner is bit-identical to the monolithic
+        # lookup (lazy import keeps the monolith path light).
+        from repro.index_cluster.router import sharded_associate_unique
+
+        with kernel_timer(
+            parallel, "associate_hashes_sharded", int(unique.size)
+        ):
+            unique_cluster, unique_distance = sharded_associate_unique(
+                unique, id_array, medoid_array, theta, parallel=parallel
+            )
+        cluster_ids[:] = unique_cluster[inverse]
+        distances[:] = unique_distance[inverse]
+        return AssociationResult(cluster_ids=cluster_ids, distances=distances)
+    parallel = parallel.dispatched("associate_hashes", int(unique.size))
     if parallel.is_serial or unique.size < parallel.workers * 2:
         with kernel_timer(
             parallel, "associate_hashes", int(unique.size), backend="serial"

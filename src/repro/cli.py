@@ -67,6 +67,16 @@ gaps for shards that exhaust the ladder::
     python -m repro --workers 4 --shard-deadline 30 report
     python -m repro --workers 2 --inject-fault parallel:worker@1@kill report
 
+``--index-shards N`` partitions the hash index over N replicated shards
+(:mod:`repro.index_cluster`) with scatter-gather routing; ``--replication
+R`` sets the copies per shard (default 2), so any single replica can die
+mid-query — including an injected ``index:shard``/``index:replica``
+fault — with zero failed queries and bit-identical output.
+``serve-replay`` gets a sharded serving monitor from the same flags::
+
+    python -m repro --workers 2 --index-shards 4 report
+    python -m repro --index-shards 4 --inject-fault index:shard@1@kill report
+
 Exit status: 0 on a clean run; **3** when the pipeline finished only
 partially — quarantined communities or failed stages — so operators can
 alert on degraded results; 4 when ``serve-replay`` loses a request
@@ -185,6 +195,23 @@ def build_parser() -> argparse.ArgumentParser:
         "workers > 1)",
     )
     parser.add_argument(
+        "--index-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition the hash index over N replicated shards with "
+        "scatter-gather routing (default: REPRO_INDEX_SHARDS env var, "
+        "else monolithic; output is identical for any shard count)",
+    )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=None,
+        metavar="R",
+        help="replicas per index shard for --index-shards (default 2; "
+        "queries fail over to a twin when a replica dies)",
+    )
+    parser.add_argument(
         "--shard-deadline",
         type=float,
         default=None,
@@ -215,8 +242,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm a deterministic fault for chaos drills; KIND is "
         "transient (default, retryable), runtime (permanent), corrupt "
         "(damages the checkpoint at SITE), or — at the parallel:shard/"
-        "parallel:worker sites — hang (worker stalls past the shard "
-        "deadline) or kill (worker process dies mid-task); repeatable",
+        "parallel:worker and index:shard/index:replica sites — hang "
+        "(worker stalls past the shard deadline) or kill (worker "
+        "process dies mid-task); repeatable",
     )
     serving = parser.add_argument_group(
         "serve-replay options (resilient serving layer)"
@@ -352,13 +380,36 @@ def _cost_model(args) -> CostModel | None:
     return CostModel(path)
 
 
+def _shard_config(args, env_shards):
+    """``--index-shards``/``--replication`` → the effective ShardConfig.
+
+    Explicit ``--index-shards`` wins over the environment (including
+    ``--index-shards 1`` = force monolithic); a lone ``--replication``
+    grafts onto the environment-resolved placement, if any.
+    """
+    from repro.index_cluster import ShardConfig
+
+    if args.index_shards is not None:
+        if args.index_shards <= 1:
+            return None
+        return ShardConfig(
+            n_shards=args.index_shards,
+            replication=(
+                args.replication if args.replication is not None else 2
+            ),
+        )
+    if env_shards is not None and args.replication is not None:
+        return replace(env_shards, replication=args.replication)
+    return env_shards
+
+
 def _parallel_config(args) -> ParallelConfig | None:
     """Explicit flags win; ``None`` defers to the environment/serial.
 
     Supervision flags alone (e.g. ``--shard-deadline`` with workers
     from ``REPRO_WORKERS``) still need a config object to ride on, so
     they graft onto the environment-resolved one; the same goes for
-    ``--cost-dispatch``.
+    ``--cost-dispatch`` and the index-sharding flags.
     """
     supervision = _supervision_policy(args)
     cost_model = _cost_model(args)
@@ -367,22 +418,29 @@ def _parallel_config(args) -> ParallelConfig | None:
         and args.parallel_backend is None
         and supervision is None
         and cost_model is None
+        and args.index_shards is None
+        and args.replication is None
     ):
         return None
     if args.workers is None and args.parallel_backend is None:
+        base = ParallelConfig.from_env()
         return replace(
-            ParallelConfig.from_env(),
+            base,
             supervision=supervision,
             cost_model=cost_model,
+            shards=_shard_config(args, base.shards),
         )
     workers = args.workers if args.workers is not None else 1
     if workers > 1:
         warn_if_oversubscribed(workers, source="--workers")
+    from repro.index_cluster.placement import shard_config_from_env
+
     return ParallelConfig(
         workers=workers,
         backend=args.parallel_backend or "auto",
         supervision=supervision,
         cost_model=cost_model,
+        shards=_shard_config(args, shard_config_from_env()),
     )
 
 
@@ -551,7 +609,7 @@ def _load_stream(path) -> list:
     return items
 
 
-def _serve_replay(world, result, args, faults) -> int:
+def _serve_replay(world, result, args, faults, parallel=None) -> int:
     """Replay a stream through the resilience layer; 0 iff conserved."""
     from repro.service import BreakerConfig, MemeMatchService, ServiceConfig
     from repro.utils.retry import RetryPolicy
@@ -574,10 +632,17 @@ def _serve_replay(world, result, args, faults) -> int:
             jitter="full",
         ),
         breaker=None if args.no_breaker else BreakerConfig(),
+        shards=parallel.shards if parallel is not None else None,
     )
     service = MemeMatchService(result, config=config, faults=faults)
+    layout = (
+        f"{config.shards.n_shards} shards x{config.shards.replication}"
+        if config.shards is not None
+        else "monolithic"
+    )
     print(f"Replaying {len(stream):,} requests "
-          f"(burst={args.burst}, index={service.index_size} clusters)...\n")
+          f"(burst={args.burst}, index={service.index_size} clusters, "
+          f"{layout})...\n")
     responses = []
     burst = max(1, args.burst)
     for start in range(0, len(stream), burst):
@@ -599,20 +664,24 @@ def _serve_replay(world, result, args, faults) -> int:
         and r.verdict.matched
         and (r.verdict.is_racist or r.verdict.is_politics)
     )
+    rows = [
+        ["submitted", stats.submitted],
+        ["served", stats.served],
+        ["  matched", matched],
+        ["  flagged (racist/politics)", flagged],
+        ["shed", stats.shed],
+        ["  breaker fast-fails", stats.breaker_fast_fails],
+        ["timed-out", stats.timed_out],
+        ["dead-lettered", stats.dead_lettered],
+        ["retries", stats.retries],
+        ["breaker opens", stats.breaker_opens],
+        ["probes", stats.probes],
+    ]
+    if config.shards is not None:
+        rows.append(["shard failovers", stats.shard_failovers])
+        rows.append(["shard errors", stats.shard_errors])
     print_table(
-        [
-            ["submitted", stats.submitted],
-            ["served", stats.served],
-            ["  matched", matched],
-            ["  flagged (racist/politics)", flagged],
-            ["shed", stats.shed],
-            ["  breaker fast-fails", stats.breaker_fast_fails],
-            ["timed-out", stats.timed_out],
-            ["dead-lettered", stats.dead_lettered],
-            ["retries", stats.retries],
-            ["breaker opens", stats.breaker_opens],
-            ["probes", stats.probes],
-        ],
+        rows,
         headers=["Counter", "Value"],
         title="Serving accounting (every request terminates exactly once)",
     )
@@ -664,6 +733,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shard-deadline must be positive")
     if args.shard_retries is not None and args.shard_retries < 0:
         parser.error("--shard-retries must be >= 0")
+    if args.index_shards is not None and args.index_shards < 1:
+        parser.error("--index-shards must be >= 1")
+    if args.replication is not None and args.replication < 1:
+        parser.error("--replication must be >= 1")
     if args.command == "cache":
         return _cache_command(args, parser)
     try:
@@ -687,7 +760,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command in ("influence", "report"):
         _print_influence(world, result, parallel=parallel)
     if args.command == "serve-replay":
-        exit_code = _serve_replay(world, result, args, faults)
+        exit_code = _serve_replay(world, result, args, faults, parallel=parallel)
     if (
         parallel is not None
         and parallel.cost_model is not None

@@ -43,6 +43,11 @@ The supervised parallel executor (:mod:`repro.utils.parallel`) consults
   ships into the worker — a sleep past the shard deadline, or
   ``os._exit`` mid-task (observed as ``BrokenProcessPool``, exactly
   like an OOM-killed worker).
+* ``"index:shard"`` / ``"index:replica"`` — the same per-attempt
+  contract, consulted by the replicated index cluster
+  (:mod:`repro.index_cluster`) instead of the generic parallel pair,
+  so shard-death drills target the scatter-gather router without
+  touching other fan-outs.
 
 Faults are exceptions by default; raise :class:`repro.utils.retry.
 TransientError` (the default) to exercise the retry path, or any other
@@ -56,9 +61,13 @@ from pathlib import Path
 
 from repro.utils.retry import TransientError
 
-__all__ = ["Fault", "FaultInjector", "corrupt_file"]
+__all__ = ["Fault", "FaultInjector", "INDEX_SITES", "corrupt_file"]
 
 PARALLEL_SITES = ("parallel:shard", "parallel:worker")
+# Kept in sync with repro.index_cluster.placement.INDEX_CHAOS_SITES
+# (a literal here, not an import: faults must stay import-light and
+# free of cycles with the index-cluster package).
+INDEX_SITES = ("index:shard", "index:replica")
 
 
 def corrupt_file(path: str | Path, *, mode: str = "flip") -> None:
@@ -199,10 +208,10 @@ class FaultInjector:
         """
         from repro.utils.parallel import ChaosDirective
 
-        if site not in PARALLEL_SITES:
+        if site not in PARALLEL_SITES and site not in INDEX_SITES:
             raise ValueError(
                 f"unknown parallel chaos site {site!r}; "
-                f"expected one of {PARALLEL_SITES}"
+                f"expected one of {PARALLEL_SITES + INDEX_SITES}"
             )
         for fault in self.faults:
             if fault.site != site or not fault.armed:

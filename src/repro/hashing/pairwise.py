@@ -138,8 +138,21 @@ def radius_neighbors(
         method = "brute" if hashes.size <= brute_force_limit else "mih"
     if hashes.size == 0:
         return []
+    parallel = resolve_parallel(parallel)
+    if parallel.shards is not None:
+        # Sharded placement is a data-layout directive, not a speed
+        # heuristic: it overrides the method choice (the shard kernel
+        # is exact MIH either way) and skips cost-model dispatch.
+        # Imported lazily so the monolithic path never loads the
+        # cluster package.
+        from repro.index_cluster.router import sharded_radius_neighbors
+
+        with kernel_timer(
+            parallel, "radius_neighbors_sharded", int(hashes.size)
+        ):
+            return sharded_radius_neighbors(hashes, radius, parallel=parallel)
     kernel = f"radius_neighbors_{method}"
-    parallel = resolve_parallel(parallel).dispatched(kernel, int(hashes.size))
+    parallel = parallel.dispatched(kernel, int(hashes.size))
     if parallel.is_serial or hashes.size < parallel.workers * 2:
         with kernel_timer(parallel, kernel, int(hashes.size), backend="serial"):
             if method == "brute":

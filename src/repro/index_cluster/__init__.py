@@ -1,0 +1,62 @@
+"""Replicated sharded Hamming index with fault-tolerant scatter-gather.
+
+The paper's corpus is ~160M images — past one node's RAM — so the index
+must shard horizontally.  This package partitions a ``uint64`` hash
+corpus over N shards by rendezvous (consistent) hashing, keeps R
+bit-identical replica copies of every shard, and routes
+``radius_neighbors`` / ``associate_hashes`` queries through a
+scatter-gather router built on the supervised executor: per-shard
+deadlines, replica failover on death or hang, bisection and serial
+fallback as last resorts, and a deterministic merge that makes any
+shard count and any single-replica loss bit-identical to the
+monolithic index.
+
+Layout:
+
+* :mod:`~repro.index_cluster.placement` — :class:`ShardConfig`, the
+  rendezvous placement function, and the env-knob parsing
+  (``REPRO_INDEX_SHARDS`` / ``REPRO_REPLICATION``).
+* :mod:`~repro.index_cluster.kernels` — module-level (picklable)
+  per-shard query kernels.
+* :mod:`~repro.index_cluster.router` — :class:`ShardedIndexCluster`
+  and the batch scatter-gather entry points the hashing/annotation
+  layers delegate to.
+* :mod:`~repro.index_cluster.monitor` — :class:`ShardedMonitor`, the
+  serving-path equivalent of :class:`repro.core.monitor.MemeMonitor`.
+"""
+
+from repro.index_cluster.placement import (
+    ENV_INDEX_SHARDS,
+    ENV_REPLICATION,
+    INDEX_CHAOS_SITES,
+    ShardConfig,
+    mix64,
+    rendezvous_shards,
+    shard_config_from_env,
+)
+from repro.index_cluster.kernels import (
+    shard_associate_kernel,
+    shard_radius_kernel,
+)
+from repro.index_cluster.router import (
+    ShardedIndexCluster,
+    sharded_associate_unique,
+    sharded_radius_neighbors,
+)
+from repro.index_cluster.monitor import ShardedMonitor
+
+__all__ = [
+    "ENV_INDEX_SHARDS",
+    "ENV_REPLICATION",
+    "INDEX_CHAOS_SITES",
+    "ShardConfig",
+    "ShardedIndexCluster",
+    "ShardedMonitor",
+    "mix64",
+    "rendezvous_shards",
+    "shard_associate_kernel",
+    "shard_config_from_env",
+    "shard_radius_kernel",
+    "sharded_associate_unique",
+    "sharded_radius_neighbors",
+]

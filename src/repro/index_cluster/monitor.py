@@ -1,0 +1,234 @@
+"""Sharded serving-path monitor: MemeMonitor over a replicated cluster.
+
+:class:`ShardedMonitor` is a drop-in for
+:class:`repro.core.monitor.MemeMonitor` whose medoid index is
+partitioned over N shards × R replicas.  Per-request scatter is an
+in-process loop over the logical shards (a per-hash lookup is
+sub-millisecond; pool fan-out would cost more than it saves), with
+replica failover per shard: a replica whose lookup raises — including
+chaos injected at the ``index:shard`` / ``index:replica`` sites — is
+skipped in favour of its twin, and the twin becomes the serving replica
+for subsequent requests (sticky failover, so a dead replica is not
+re-tried on every request).  A shard only fails a request when *every*
+replica fails, because returning a partial verdict would silently
+change results — the same bit-identity posture as the batch router.
+
+The cross-shard winner is the minimum by ``(distance, global medoid
+position)``, the monolithic monitor's exact tie-break, so a
+:class:`ShardedMonitor` verdict equals a
+:class:`~repro.core.monitor.MemeMonitor` verdict bit for bit for every
+hash, shard count, and surviving-replica combination.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.annotation.matcher import DEFAULT_THETA
+from repro.core.monitor import MemeMonitor, MonitorVerdict
+from repro.core.results import PipelineResult
+from repro.hashing.index import MultiIndexHash
+from repro.index_cluster.placement import INDEX_CHAOS_SITES, ShardConfig
+
+__all__ = ["ShardedMonitor"]
+
+
+class ShardedMonitor(MemeMonitor):
+    """Classify hashes against medoids sharded with replica failover.
+
+    Parameters
+    ----------
+    result:
+        A completed pipeline run (same contract as
+        :class:`~repro.core.monitor.MemeMonitor`).
+    theta:
+        Matching threshold.
+    shards:
+        :class:`~repro.index_cluster.placement.ShardConfig` giving the
+        shard count and replication factor.
+    chaos:
+        Optional chaos hook consulted once per replica attempt at the
+        ``index:shard`` / ``index:replica`` sites; ``hang`` directives
+        sleep in-process, ``kill`` degrades to a raised error (there is
+        no worker process to kill on the serving path).
+    on_failover / on_error:
+        Optional callbacks fired when a replica attempt fails
+        (``on_error``) and when a lookup is served by a non-primary
+        replica after such a failure (``on_failover``); the service
+        wires these to its stats counters.
+    """
+
+    def __init__(
+        self,
+        result: PipelineResult,
+        *,
+        theta: int = DEFAULT_THETA,
+        shards: ShardConfig,
+        chaos=None,
+        on_failover=None,
+        on_error=None,
+    ) -> None:
+        super().__init__(result, theta=theta)
+        if not isinstance(shards, ShardConfig):
+            raise TypeError(
+                f"shards must be a ShardConfig, got {type(shards).__name__}"
+            )
+        self.shards = shards
+        self.chaos = chaos
+        self._on_failover = on_failover
+        self._on_error = on_error
+        medoids = np.array(
+            [annotation.medoid_hash for annotation in self._annotations],
+            dtype=np.uint64,
+        )
+        placement = shards.place(medoids)
+        # _replicas[s][r] = (MultiIndexHash over the shard's medoids,
+        # ascending global positions).  Each replica indexes its own
+        # array copy, mirroring the batch router's layout.
+        self._replicas: list[list[tuple[MultiIndexHash, np.ndarray]]] = []
+        self._serving = [0] * shards.n_shards
+        self._failovers = [0] * shards.n_shards
+        self._errors = [0] * shards.n_shards
+        for s in range(shards.n_shards):
+            positions = np.flatnonzero(placement == s).astype(np.int64)
+            shard_medoids = medoids[positions]
+            self._replicas.append(
+                [
+                    (MultiIndexHash(shard_medoids.copy()), positions.copy())
+                    for _ in range(shards.replication)
+                ]
+            )
+
+    # -- chaos & failover ----------------------------------------------
+
+    def _consult_chaos(self) -> None:
+        """Fire the index chaos sites; degrade directives in-process."""
+        if self.chaos is None:
+            return
+        directive = None
+        for site in INDEX_CHAOS_SITES:
+            directive = self.chaos(site)
+            if directive is not None:
+                break
+        if directive is None:
+            return
+        if directive.action == "kill":
+            raise RuntimeError("simulated replica death")
+        time.sleep(directive.delay_s)
+
+    def _query_shard(self, shard: int, value: int) -> list[tuple[int, int]]:
+        """One shard's ``(global position, distance)`` pairs, with failover."""
+        replication = self.shards.replication
+        serving = self._serving[shard]
+        last_error: BaseException | None = None
+        for offset in range(replication):
+            replica = (serving + offset) % replication
+            try:
+                self._consult_chaos()
+                index, positions = self._replicas[shard][replica]
+                pairs = index.query(value, self.theta)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as error:
+                last_error = error
+                self._errors[shard] += 1
+                if self._on_error is not None:
+                    self._on_error(shard, replica, error)
+                continue
+            if offset:
+                # Sticky failover: the replica that answered keeps
+                # serving, so a dead twin is not re-tried per request.
+                self._serving[shard] = replica
+                self._failovers[shard] += 1
+                if self._on_failover is not None:
+                    self._on_failover(shard, replica)
+            return [
+                (int(positions[local]), int(distance))
+                for local, distance in pairs
+            ]
+        raise RuntimeError(
+            f"index shard {shard}: all {replication} replicas failed"
+        ) from last_error
+
+    # -- MemeMonitor interface -----------------------------------------
+
+    def classify_hash(self, value: np.uint64 | int) -> MonitorVerdict:
+        """Scatter one hash across all shards; identical verdict to the
+        monolithic :meth:`MemeMonitor.classify_hash`."""
+        try:
+            value = int(value)
+        except (TypeError, ValueError):
+            raise TypeError(
+                f"pHash must be an integer-like scalar, got {type(value).__name__}"
+            )
+        if not 0 <= value < 2**64:
+            raise ValueError(
+                f"pHash {value} outside the unsigned 64-bit range [0, 2**64)"
+            )
+        if not self._keys:
+            return MonitorVerdict.no_match()
+        pairs: list[tuple[int, int]] = []
+        for shard in range(self.shards.n_shards):
+            pairs.extend(self._query_shard(shard, value))
+        if not pairs:
+            return MonitorVerdict.no_match()
+        position, distance = min(pairs, key=lambda p: (p[1], p[0]))
+        annotation = self._annotations[position]
+        return MonitorVerdict(
+            matched=True,
+            cluster=self._keys[position],
+            entry=annotation.representative,
+            distance=int(distance),
+            is_racist=annotation.is_racist,
+            is_politics=annotation.is_politics,
+        )
+
+    # -- operational surface -------------------------------------------
+
+    def validate_shards(self) -> int:
+        """Validate the cluster's layout; returns the shard count.
+
+        Checks that every shard's replicas agree bit-for-bit and that
+        the shard partitions tile the medoid set exactly — the
+        per-shard half of the service's validate-then-swap reload.
+        Raises :class:`ValueError` on any inconsistency.
+        """
+        seen = []
+        for s, replicas in enumerate(self._replicas):
+            reference, ref_positions = replicas[0]
+            for r, (index, positions) in enumerate(replicas[1:], start=1):
+                if not np.array_equal(index.hashes, reference.hashes):
+                    raise ValueError(
+                        f"index shard {s}: replica {r} diverges from replica 0"
+                    )
+                if not np.array_equal(positions, ref_positions):
+                    raise ValueError(
+                        f"index shard {s}: replica {r} placement diverges"
+                    )
+            seen.append(ref_positions)
+        covered = (
+            np.sort(np.concatenate(seen)) if seen else np.empty(0, np.int64)
+        )
+        if not np.array_equal(
+            covered, np.arange(len(self._keys), dtype=np.int64)
+        ):
+            raise ValueError(
+                "shard partitions do not tile the medoid set exactly"
+            )
+        return len(self._replicas)
+
+    def health_snapshot(self) -> list[dict]:
+        """Per-shard health for ``ServiceStats`` / ``health()``."""
+        return [
+            {
+                "shard": s,
+                "size": int(self._replicas[s][0][1].size),
+                "replication": self.shards.replication,
+                "serving_replica": self._serving[s],
+                "failovers": self._failovers[s],
+                "errors": self._errors[s],
+            }
+            for s in range(self.shards.n_shards)
+        ]

@@ -1,0 +1,174 @@
+"""Consistent-hash placement of hashes onto index shards.
+
+Placement uses rendezvous (highest-random-weight) hashing: every hash
+scores each shard with a mixed 64-bit weight and lands on the argmax.
+Unlike modulo placement, adding or removing one shard moves only the
+hashes whose argmax changed (~1/N of the corpus), and the placement is
+a pure function of ``(hash value, shard id, seed)`` — no coordination
+state to persist, and identical on every node that computes it.
+
+The weight mix is the splitmix64 finalizer applied to whole ``uint64``
+arrays; numpy array arithmetic wraps modulo 2**64 silently, so the hot
+path stays vectorised without scalar-overflow warnings.
+
+This module is deliberately import-light (numpy only, never
+``repro.utils.parallel``) so :meth:`ParallelConfig.from_env` can import
+it lazily without a cycle.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ENV_INDEX_SHARDS",
+    "ENV_REPLICATION",
+    "INDEX_CHAOS_SITES",
+    "ShardConfig",
+    "mix64",
+    "rendezvous_shards",
+    "shard_config_from_env",
+]
+
+ENV_INDEX_SHARDS = "REPRO_INDEX_SHARDS"
+ENV_REPLICATION = "REPRO_REPLICATION"
+
+# Chaos sites the scatter-gather router consults per shard attempt
+# (in place of the generic parallel:shard / parallel:worker pair).
+# ``repro.core.faults.INDEX_SITES`` keeps a literal copy of this tuple
+# (faults stays import-light; the values must match).
+INDEX_CHAOS_SITES = ("index:shard", "index:replica")
+
+DEFAULT_REPLICATION = 2
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def mix64(values: np.ndarray) -> np.ndarray:
+    """Splitmix64 finalizer over a ``uint64`` array (vectorised).
+
+    A bijective avalanche mix: flipping any input bit flips ~half the
+    output bits, which is what makes ``argmax`` over mixed weights an
+    unbiased placement.  Works on any shape; always returns a fresh
+    array.
+    """
+    z = np.asarray(values, dtype=np.uint64) + _GOLDEN
+    z = (z ^ (z >> np.uint64(30))) * _MIX1
+    z = (z ^ (z >> np.uint64(27))) * _MIX2
+    return z ^ (z >> np.uint64(31))
+
+
+def rendezvous_shards(
+    hashes: np.ndarray, n_shards: int, seed: int = 0
+) -> np.ndarray:
+    """Primary shard id for every hash, by highest-random-weight hashing.
+
+    Returns an ``int64`` array of shard ids in ``[0, n_shards)``.  Ties
+    (astronomically unlikely after the mix) break to the lowest shard
+    id via ``argmax``, keeping placement deterministic.  Equal hash
+    values always land on the same shard, so a shard's partition is
+    self-contained for duplicate-collapsing queries.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    hashes = np.ascontiguousarray(hashes, dtype=np.uint64).reshape(-1)
+    if n_shards == 1:
+        return np.zeros(hashes.size, dtype=np.int64)
+    shard_salts = mix64(
+        np.arange(1, n_shards + 1, dtype=np.uint64) * _GOLDEN
+        + np.uint64(np.int64(seed))
+    )
+    weights = mix64(hashes[:, None] ^ shard_salts[None, :])
+    return np.argmax(weights, axis=1).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """How the index cluster partitions and replicates a corpus.
+
+    Attributes
+    ----------
+    n_shards:
+        Number of logical shards the corpus is partitioned into;
+        ``1`` is a valid degenerate cluster (useful for identity
+        testing — still scatter-gathered, same data layout).
+    replication:
+        Replica copies per logical shard (R).  Every replica holds a
+        bit-identical copy of its shard's partition, so the router can
+        serve a query from any replica without changing the result;
+        R=2 (the default) survives any single-replica loss.
+    seed:
+        Salt for the rendezvous placement; two clusters with the same
+        seed place identically.
+    """
+
+    n_shards: int = 1
+    replication: int = DEFAULT_REPLICATION
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+
+    def place(self, hashes: np.ndarray) -> np.ndarray:
+        """Primary shard id per hash (see :func:`rendezvous_shards`)."""
+        return rendezvous_shards(hashes, self.n_shards, self.seed)
+
+
+def shard_config_from_env(env=None) -> ShardConfig | None:
+    """Shard config from ``REPRO_INDEX_SHARDS`` / ``REPRO_REPLICATION``.
+
+    Mirrors the ``REPRO_WORKERS`` contract: unset (or ``<= 1`` shards)
+    keeps the monolithic index (returns ``None``); a *malformed* value
+    is an operator error worth surfacing, so it emits a
+    :class:`RuntimeWarning` naming the bad value and falls back to the
+    default instead of being silently swallowed.
+    """
+    env = os.environ if env is None else env
+    raw_shards = env.get(ENV_INDEX_SHARDS, "")
+    n_shards = 1
+    if raw_shards:
+        try:
+            n_shards = int(raw_shards)
+        except ValueError:
+            warnings.warn(
+                f"ignoring malformed {ENV_INDEX_SHARDS}={raw_shards!r} "
+                "(not an integer); falling back to the monolithic index",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            n_shards = 1
+    replication = DEFAULT_REPLICATION
+    raw_replication = env.get(ENV_REPLICATION, "")
+    if raw_replication:
+        try:
+            replication = int(raw_replication)
+        except ValueError:
+            warnings.warn(
+                f"ignoring malformed {ENV_REPLICATION}={raw_replication!r} "
+                f"(not an integer); falling back to R={DEFAULT_REPLICATION}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            replication = DEFAULT_REPLICATION
+        else:
+            if replication < 1:
+                warnings.warn(
+                    f"ignoring out-of-range {ENV_REPLICATION}="
+                    f"{raw_replication!r} (must be >= 1); falling back "
+                    f"to R={DEFAULT_REPLICATION}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                replication = DEFAULT_REPLICATION
+    if n_shards <= 1:
+        return None
+    return ShardConfig(n_shards=n_shards, replication=replication)

@@ -1,0 +1,323 @@
+"""Scatter-gather routing over replicated index shards.
+
+:class:`ShardedIndexCluster` owns the cluster's data layout: the corpus
+partitioned over N logical shards by rendezvous placement, each shard
+held as R bit-identical replica copies.  Batch queries scatter one task
+per logical shard through
+:meth:`repro.utils.parallel.Executor.supervised_starmap` — which
+supplies the per-shard deadline, the fresh-pool retry, the *replica
+failover* rung (the remaining copies ride in as ``alternates``),
+bisection, and serial fallback — and gather under a deterministic merge:
+
+* ``radius_neighbors``: shard partitions are disjoint, so each query's
+  row is the sorted concatenation of its per-shard partial rows —
+  bit-identical to the monolithic row for any shard count and any
+  replica choice (replicas are copies).
+* ``associate``: the global winner is the elementwise minimum of the
+  per-shard winners by ``(distance, global medoid position)`` — the
+  monolith's exact tie-break, since its medoid array is cluster-id
+  ordered.
+
+Both kernels run under ``on_poison="fail"`` (via
+:func:`strict_supervision`): a missing shard would silently truncate
+result sets, which the bit-identity contract forbids — so a shard that
+outlives every replica and every ladder rung raises
+:class:`~repro.utils.parallel.PoisonShardError` for the caller's own
+quarantine machinery to absorb.
+
+Chaos drills target the ``index:shard`` / ``index:replica`` sites
+(:data:`~repro.index_cluster.placement.INDEX_CHAOS_SITES`), keeping
+index-cluster faults distinct from the generic parallel sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.index_cluster.kernels import (
+    shard_associate_kernel,
+    shard_radius_kernel,
+)
+from repro.index_cluster.placement import INDEX_CHAOS_SITES, ShardConfig
+from repro.utils.parallel import (
+    ExecutionReport,
+    Executor,
+    ParallelConfig,
+    array_splitter,
+    range_splitter,
+    resolve_parallel,
+    strict_supervision,
+)
+
+__all__ = [
+    "ShardHealth",
+    "ShardedIndexCluster",
+    "sharded_associate_unique",
+    "sharded_radius_neighbors",
+]
+
+
+def _merge_radius_parts(parts: list[list[np.ndarray]]) -> list[np.ndarray]:
+    """Reassemble bisected query-range outputs: list concatenation."""
+    return [row for part in parts for row in part]
+
+
+def _merge_associate_parts(
+    parts: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reassemble bisected query-array outputs: per-column concatenation."""
+    return (
+        np.concatenate([part[0] for part in parts]),
+        np.concatenate([part[1] for part in parts]),
+    )
+
+
+@dataclass
+class ShardHealth:
+    """Router-level view of one logical shard after a fan-out."""
+
+    shard: int
+    size: int
+    replication: int
+    serving_replica: int = 0
+    failures: int = 0
+    outcome: str = "pending"
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "size": self.size,
+            "replication": self.replication,
+            "serving_replica": self.serving_replica,
+            "failures": self.failures,
+            "outcome": self.outcome,
+        }
+
+
+class ShardedIndexCluster:
+    """N rendezvous-placed shards × R replica copies of a hash corpus.
+
+    Parameters
+    ----------
+    values:
+        1-D ``uint64`` corpus; global positions are positions in this
+        array (for the association path, positions in the cluster-id
+        ordered medoid array).
+    config:
+        :class:`~repro.index_cluster.placement.ShardConfig` — shard
+        count, replication factor, placement seed.
+    parallel:
+        Executor configuration for scatter fan-outs.  The cluster
+        strips :attr:`~repro.utils.parallel.ParallelConfig.shards`
+        before executing (the scatter itself must not recurse into
+        another cluster) and honours ``supervision`` and ``chaos``.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        *,
+        config: ShardConfig,
+        parallel: ParallelConfig | None = None,
+    ) -> None:
+        self.config = config
+        self.parallel = replace(resolve_parallel(parallel), shards=None)
+        values = np.ascontiguousarray(values, dtype=np.uint64).reshape(-1)
+        self.n_values = int(values.size)
+        placement = config.place(values)
+        # replicas[s][r] = (values copy, global positions copy) — each
+        # replica is an independent array pair, so a "lost" replica
+        # (chaos-killed worker holding it) never taints its twin.
+        self.replicas: list[list[tuple[np.ndarray, np.ndarray]]] = []
+        self.health: list[ShardHealth] = []
+        for s in range(config.n_shards):
+            positions = np.flatnonzero(placement == s).astype(np.int64)
+            shard_values = values[positions]
+            self.replicas.append(
+                [
+                    (shard_values.copy(), positions.copy())
+                    for _ in range(config.replication)
+                ]
+            )
+            self.health.append(
+                ShardHealth(
+                    shard=s,
+                    size=int(positions.size),
+                    replication=config.replication,
+                )
+            )
+        self.last_report: ExecutionReport | None = None
+
+    # -- scatter-gather -------------------------------------------------
+
+    def _scatter(self, make_args, kernel, split, merge):
+        """Fan one task per logical shard through the supervised executor.
+
+        ``make_args(values, positions)`` builds a kernel call for one
+        replica's arrays; replicas past the serving one become the
+        ladder's ``alternates``.  Updates per-shard health from the
+        resulting :class:`ShardReport`s and returns the supervised
+        results in shard order (``on_poison="fail"`` guarantees no
+        gaps).
+        """
+        tasks = []
+        alternates = []
+        for s in range(self.config.n_shards):
+            serving = self.health[s].serving_replica % self.config.replication
+            copies = self.replicas[s]
+            rotation = [
+                copies[(serving + r) % self.config.replication]
+                for r in range(self.config.replication)
+            ]
+            tasks.append(make_args(*rotation[0]))
+            alternates.append(
+                [make_args(*copy) for copy in rotation[1:]]
+            )
+        supervised = Executor(self.parallel).supervised_starmap(
+            kernel,
+            tasks,
+            policy=strict_supervision(self.parallel),
+            split=split,
+            merge=merge,
+            chaos=self.parallel.chaos,
+            alternates=alternates,
+            chaos_sites=INDEX_CHAOS_SITES,
+        )
+        self.last_report = supervised.report
+        for s, shard_report in enumerate(supervised.report.shards):
+            health = self.health[s]
+            health.outcome = shard_report.outcome
+            if shard_report.recovered:
+                health.failures += 1
+            if shard_report.outcome == "replica":
+                # The replica that answered stays the serving one.
+                health.serving_replica = (
+                    health.serving_replica + shard_report.replica
+                ) % self.config.replication
+        return supervised.results
+
+    def radius_neighbors(
+        self, queries: np.ndarray, radius: int
+    ) -> list[np.ndarray]:
+        """Sorted global neighbour positions per query, across all shards."""
+        queries = np.ascontiguousarray(queries, dtype=np.uint64).reshape(-1)
+        n = int(queries.size)
+        if n == 0:
+            return []
+        partials = self._scatter(
+            lambda values, positions: (
+                queries,
+                0,
+                n,
+                values,
+                positions,
+                radius,
+            ),
+            shard_radius_kernel,
+            range_splitter(1, 2),
+            _merge_radius_parts,
+        )
+        # Deterministic gather: per query, partitions are disjoint, so
+        # a plain sort of the concatenated partial rows reproduces the
+        # monolithic sorted-unique row.
+        rows: list[np.ndarray] = []
+        for i in range(n):
+            parts = [part[i] for part in partials if part[i].size]
+            if not parts:
+                rows.append(np.empty(0, dtype=np.int64))
+            elif len(parts) == 1:
+                rows.append(parts[0])
+            else:
+                rows.append(np.sort(np.concatenate(parts)))
+        return rows
+
+    def associate(
+        self, unique: np.ndarray, theta: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Global nearest-medoid ``(position, distance)`` per unique hash.
+
+        Positions index the cluster's value array (the cluster-id
+        ordered medoid array); ``-1`` means nothing within ``theta``.
+        """
+        unique = np.ascontiguousarray(unique, dtype=np.uint64).reshape(-1)
+        if unique.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        partials = self._scatter(
+            lambda values, positions: (unique, values, positions, theta),
+            shard_associate_kernel,
+            array_splitter(0),
+            _merge_associate_parts,
+        )
+        best_position, best_distance = partials[0]
+        best_position = best_position.copy()
+        best_distance = best_distance.copy()
+        for position, distance in partials[1:]:
+            matched = distance >= 0
+            better = matched & (
+                (best_distance < 0)
+                | (distance < best_distance)
+                | ((distance == best_distance) & (position < best_position))
+            )
+            best_position[better] = position[better]
+            best_distance[better] = distance[better]
+        return best_position, best_distance
+
+    def health_snapshot(self) -> list[dict]:
+        """Per-shard health dicts (for ``ServiceStats`` / ``health()``)."""
+        return [health.as_dict() for health in self.health]
+
+
+def sharded_radius_neighbors(
+    hashes: np.ndarray,
+    radius: int,
+    *,
+    parallel: ParallelConfig,
+) -> list[np.ndarray]:
+    """Self-join radius neighbourhoods through a sharded cluster.
+
+    Drop-in for the monolithic path of
+    :func:`repro.hashing.pairwise.radius_neighbors` when
+    ``parallel.shards`` is set; bit-identical output for any shard
+    count, worker count, and single-replica loss under R >= 2.
+    """
+    config = parallel.shards
+    if not isinstance(config, ShardConfig):
+        raise TypeError(
+            f"parallel.shards must be a ShardConfig, got {type(config).__name__}"
+        )
+    cluster = ShardedIndexCluster(hashes, config=config, parallel=parallel)
+    return cluster.radius_neighbors(hashes, radius)
+
+
+def sharded_associate_unique(
+    unique: np.ndarray,
+    id_array: np.ndarray,
+    medoid_array: np.ndarray,
+    theta: int,
+    *,
+    parallel: ParallelConfig,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest-medoid association through a sharded medoid cluster.
+
+    Returns ``(unique_cluster, unique_distance)`` exactly like
+    :func:`repro.annotation.association._associate_unique_shard` over
+    the full medoid set: matched entries carry ``id_array[winner]``,
+    unmatched stay ``-1``.
+    """
+    config = parallel.shards
+    if not isinstance(config, ShardConfig):
+        raise TypeError(
+            f"parallel.shards must be a ShardConfig, got {type(config).__name__}"
+        )
+    cluster = ShardedIndexCluster(
+        medoid_array, config=config, parallel=parallel
+    )
+    best_position, best_distance = cluster.associate(unique, theta)
+    id_array = np.ascontiguousarray(id_array, dtype=np.int64).reshape(-1)
+    unique_cluster = np.full(unique.size, -1, dtype=np.int64)
+    matched = best_position >= 0
+    unique_cluster[matched] = id_array[best_position[matched]]
+    return unique_cluster, best_distance

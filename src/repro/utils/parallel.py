@@ -44,13 +44,19 @@ supervision ladder, per shard:
 2. **retry** — the failed shard is re-submitted to a *fresh* pool under
    a :class:`repro.utils.retry.RetryPolicy` (worker-death via
    ``BrokenExecutor`` is just another retryable failure);
-3. **bisection re-sharding** — a shard that keeps failing is split via
+3. **replica failover** — when the caller supplies ``alternates``
+   (replacement argument tuples carrying an identical copy of the
+   shard's data — the replicated index cluster's replicas), each
+   alternate walks the retry rung in turn.  A hung or dead replica is
+   thereby *hedged* onto its twin instead of being hammered further;
+   because replicas are bit-identical copies, the result is too;
+4. **bisection re-sharding** — a shard that keeps failing is split via
    the caller's ``split`` function and each half walks the ladder
    independently, so one poison item cannot sink its whole shard and an
    allocation-bound failure gets a smaller working set;
-4. **serial fallback** — the shard runs in the calling process,
+5. **serial fallback** — the shard runs in the calling process,
    sidestepping pool pathologies (pickling, worker death) entirely;
-5. **quarantine** — a shard that fails even serially is *poison*:
+6. **quarantine** — a shard that fails even serially is *poison*:
    depending on ``on_poison`` the run either fails fast
    (:class:`PoisonShardError`, naming the shard) or records the shard
    as a gap (``None`` in the result list) and carries on.
@@ -64,8 +70,10 @@ shard; quarantined shards surface as explicit gaps, never silent
 truncation.
 
 Chaos hooks: the executor consults an optional ``chaos(site)`` callable
-(``"parallel:shard"`` then ``"parallel:worker"``) before every shard
-attempt.  :meth:`repro.core.faults.FaultInjector.parallel_directive`
+(``"parallel:shard"`` then ``"parallel:worker"`` by default; the
+replicated index cluster passes ``chaos_sites=("index:shard",
+"index:replica")`` so its drills do not collide with generic parallel
+faults) before every shard attempt.  :meth:`repro.core.faults.FaultInjector.parallel_directive`
 implements the hook — raise-type faults raise right there in the
 parent, while ``hang``/``kill`` faults return a :class:`ChaosDirective`
 that ships into the worker (sleep past the deadline / ``os._exit``),
@@ -93,6 +101,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 import warnings
 from concurrent import futures as _futures
@@ -109,6 +118,7 @@ __all__ = [
     "ENV_WORKERS",
     "ChaosDirective",
     "CostModel",
+    "DEFAULT_CHAOS_SITES",
     "ExecutionReport",
     "Executor",
     "ParallelConfig",
@@ -202,6 +212,14 @@ class ParallelConfig:
         model pick serial/thread/process per call and cap workers at
         the core count.  ``None`` (the default, including via
         :meth:`from_env`) keeps the historical unconditional fan-out.
+    shards:
+        Optional :class:`repro.index_cluster.ShardConfig`.  When set,
+        ``radius_neighbors`` / ``associate_hashes`` route through the
+        replicated sharded index cluster instead of the monolithic
+        index — results stay bit-identical, only placement and failure
+        tolerance change.  ``None`` (the default) keeps the monolith.
+        Carried here so sharding travels wherever the parallel config
+        already flows, like :attr:`supervision`.
     """
 
     workers: int = 1
@@ -210,6 +228,7 @@ class ParallelConfig:
     supervision: "SupervisionPolicy | None" = None
     chaos: Callable[[str], "ChaosDirective | None"] | None = None
     cost_model: "CostModel | None" = None
+    shards: object | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -279,7 +298,13 @@ class ParallelConfig:
         workers = max(1, workers)
         if workers > 1:
             warn_if_oversubscribed(workers, source=ENV_WORKERS)
-        return cls(workers=workers, backend=backend)
+        # Imported lazily: placement is import-light and never imports
+        # this module, so no cycle — but keeping it out of module scope
+        # means plain parallel users never touch the index cluster.
+        from repro.index_cluster.placement import shard_config_from_env
+
+        shards = shard_config_from_env(env)
+        return cls(workers=workers, backend=backend, shards=shards)
 
 
 def resolve_parallel(parallel: ParallelConfig | None) -> ParallelConfig:
@@ -473,13 +498,36 @@ class CostModel:
         }
 
     def save(self, path: str | Path | None = None) -> None:
+        """Atomically persist the calibration as JSON.
+
+        Uses the same uniquely-named fsynced temp-file pattern as
+        :func:`repro.utils.io.save_checkpoint`: the cost model lives in
+        the *shared* cache directory, so two concurrent runs saving at
+        once must never trample each other's temp file (a fixed-name
+        ``.tmp`` sibling would let one writer rename the other's
+        half-written file into place) and a crash mid-write must never
+        leave a torn ``cost_model.json``.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("no path to save the cost model to")
         target.parent.mkdir(parents=True, exist_ok=True)
-        temp = target.with_name(target.name + ".tmp")
-        temp.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True))
-        temp.replace(target)
+        blob = json.dumps(self.to_json(), indent=2, sort_keys=True)
+        fd, temp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
 
     def load(self, path: str | Path) -> None:
         """Merge persisted calibration; malformed files are ignored
@@ -582,7 +630,7 @@ class PoisonShardError(RuntimeError):
     ) -> None:
         super().__init__(
             f"shard {shard_index} failed permanently after the supervision "
-            f"ladder (retry, bisect, serial fallback): "
+            f"ladder (retry, replica failover, bisect, serial fallback): "
             f"{type(cause).__name__}: {cause}"
         )
         self.shard_index = shard_index
@@ -648,10 +696,13 @@ class ShardReport:
     """Supervision history of one submitted shard.
 
     ``outcome`` is the final classification: ``"ok"`` (first attempt),
-    ``"retried"`` (fresh-pool retry rung), ``"bisected"`` (recovered by
-    re-sharding), ``"serial"`` (serial fallback), ``"quarantined"``
-    (poison; its result slot is a gap).  ``errors`` is the chronological
-    trail of everything that went wrong on the way.
+    ``"retried"`` (fresh-pool retry rung), ``"replica"`` (failed over
+    to an alternate argument set — a replica copy of the shard's
+    data; ``replica`` records which one, 1-based), ``"bisected"``
+    (recovered by re-sharding), ``"serial"`` (serial fallback),
+    ``"quarantined"`` (poison; its result slot is a gap).  ``errors``
+    is the chronological trail of everything that went wrong on the
+    way.
     """
 
     index: int
@@ -659,12 +710,13 @@ class ShardReport:
     attempts: int = 0
     outcome: str = "pending"
     duration_s: float = 0.0
+    replica: int = 0
     errors: list[str] = field(default_factory=list)
 
     @property
     def recovered(self) -> bool:
         """Failed at least once but produced its result anyway."""
-        return self.outcome in ("retried", "bisected", "serial")
+        return self.outcome in ("retried", "replica", "bisected", "serial")
 
 
 @dataclass
@@ -805,13 +857,18 @@ def _simulated_death(fn: Callable[..., R], args: tuple) -> R:
     raise RuntimeError("simulated worker death")
 
 
-def _consult_chaos(chaos) -> ChaosDirective | None:
+DEFAULT_CHAOS_SITES = ("parallel:shard", "parallel:worker")
+
+
+def _consult_chaos(chaos, sites=DEFAULT_CHAOS_SITES) -> ChaosDirective | None:
     """Fire the chaos sites for one shard attempt; raising faults propagate."""
     if chaos is None:
         return None
-    directive = chaos("parallel:shard")
-    if directive is None:
-        directive = chaos("parallel:worker")
+    directive = None
+    for site in sites:
+        directive = chaos(site)
+        if directive is not None:
+            break
     return directive
 
 
@@ -873,6 +930,8 @@ class Executor:
         merge: Callable[[list], R] | None = None,
         chaos: Callable[[str], ChaosDirective | None] | None = None,
         sleep: Callable[[float], None] | None = None,
+        alternates: Sequence[Sequence[tuple]] | None = None,
+        chaos_sites: Sequence[str] = DEFAULT_CHAOS_SITES,
     ) -> SupervisedResult:
         """:meth:`map` under the supervision ladder."""
         return self.supervised_starmap(
@@ -883,6 +942,8 @@ class Executor:
             merge=merge,
             chaos=chaos,
             sleep=sleep,
+            alternates=alternates,
+            chaos_sites=chaos_sites,
         )
 
     def supervised_starmap(
@@ -895,6 +956,8 @@ class Executor:
         merge: Callable[[list], R] | None = None,
         chaos: Callable[[str], ChaosDirective | None] | None = None,
         sleep: Callable[[float], None] | None = None,
+        alternates: Sequence[Sequence[tuple]] | None = None,
+        chaos_sites: Sequence[str] = DEFAULT_CHAOS_SITES,
     ) -> SupervisedResult:
         """:meth:`starmap` under the supervision ladder.
 
@@ -914,6 +977,18 @@ class Executor:
         sleep:
             Injected into :func:`repro.utils.retry.retry_call` so tests
             can skip real backoff sleeps.
+        alternates:
+            Per-call replacement argument tuples for the replica rung:
+            ``alternates[i]`` are argument sets equivalent to
+            ``calls[i]`` (same result, different data copy — the index
+            cluster's replicas).  When call *i* fails its retry rung,
+            each alternate walks the retry rung in turn before
+            bisection is considered; a success is recorded as outcome
+            ``"replica"``.  Must align 1:1 with the submitted calls.
+        chaos_sites:
+            Site names consulted (in order) on every shard attempt;
+            the default is the generic parallel pair, the index
+            cluster passes ``("index:shard", "index:replica")``.
 
         Returns a :class:`SupervisedResult` whose ``results`` align
         1:1 with the submitted calls; quarantined shards hold ``None``.
@@ -923,6 +998,11 @@ class Executor:
         if (split is None) != (merge is None):
             raise ValueError("split and merge must be provided together")
         calls = [tuple(args) for args in items]
+        if alternates is not None and len(alternates) != len(calls):
+            raise ValueError(
+                f"alternates must align with calls: got {len(alternates)} "
+                f"alternate sets for {len(calls)} calls"
+            )
         if policy is None:
             policy = self.parallel.supervision or SupervisionPolicy()
         if chaos is None:
@@ -938,11 +1018,15 @@ class Executor:
 
         results: list = [None] * len(calls)
         failed: dict[int, BaseException] = {}
+        sites = tuple(chaos_sites)
         if backend == "serial" or workers <= 1:
-            self._first_wave_serial(fn, calls, report, chaos, results, failed)
+            self._first_wave_serial(
+                fn, calls, report, chaos, results, failed, sites
+            )
         else:
             self._first_wave_pooled(
-                fn, calls, report, policy, chaos, results, failed, workers
+                fn, calls, report, policy, chaos, results, failed, workers,
+                sites,
             )
 
         for index in sorted(failed):
@@ -950,7 +1034,10 @@ class Executor:
             try:
                 results[index] = self._rescue(
                     fn, calls[index], shard, policy, split, merge, chaos,
-                    depth=0, sleep=sleep,
+                    depth=0, sleep=sleep, sites=sites,
+                    alternates=(
+                        tuple(alternates[index]) if alternates else ()
+                    ),
                 )
             except (KeyboardInterrupt, SystemExit):
                 raise
@@ -962,7 +1049,8 @@ class Executor:
         return SupervisedResult(results=results, report=report)
 
     def _first_wave_serial(
-        self, fn, calls, report, chaos, results, failed
+        self, fn, calls, report, chaos, results, failed,
+        sites=DEFAULT_CHAOS_SITES,
     ) -> None:
         """Serial first wave: plain in-process calls, chaos honoured."""
         for index, args in enumerate(calls):
@@ -970,7 +1058,7 @@ class Executor:
             started = time.perf_counter()
             try:
                 results[index] = self._attempt_once(
-                    fn, args, shard, None, chaos, use_pool=False
+                    fn, args, shard, None, chaos, sites, use_pool=False
                 )
                 shard.outcome = "ok"
             except (KeyboardInterrupt, SystemExit):
@@ -982,7 +1070,8 @@ class Executor:
                 shard.duration_s += time.perf_counter() - started
 
     def _first_wave_pooled(
-        self, fn, calls, report, policy, chaos, results, failed, workers
+        self, fn, calls, report, policy, chaos, results, failed, workers,
+        sites=DEFAULT_CHAOS_SITES,
     ) -> None:
         """Pooled first wave: submit everything, collect in submission
         order with per-shard deadlines, survive worker death.
@@ -1004,7 +1093,7 @@ class Executor:
                 shard = report.shards[index]
                 shard.attempts += 1
                 try:
-                    directive = _consult_chaos(chaos)
+                    directive = _consult_chaos(chaos, sites)
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except Exception as error:
@@ -1073,22 +1162,26 @@ class Executor:
         )
 
     def _rescue(
-        self, fn, args, shard, policy, split, merge, chaos, depth, sleep
+        self, fn, args, shard, policy, split, merge, chaos, depth, sleep,
+        sites=DEFAULT_CHAOS_SITES, alternates=(),
     ):
         """Walk a failed shard down the rescue ladder; return its value.
 
         Raises the final underlying error when every rung fails.
         ``shard.outcome`` is only classified at ``depth == 0`` — the
         recursive bisection halves contribute attempts and errors to
-        the same report but not an outcome of their own.
+        the same report but not an outcome of their own.  ``alternates``
+        (replica argument sets) apply only at depth 0: a bisected half
+        is a different call, for which no replica args exist.
         """
         started = time.perf_counter()
         try:
             # Rung 2: fresh single-worker pool under the retry policy.
-            def attempt():
+            def attempt(attempt_args=args):
                 try:
                     return self._attempt_once(
-                        fn, args, shard, policy, chaos, use_pool=True
+                        fn, attempt_args, shard, policy, chaos, sites,
+                        use_pool=True,
                     )
                 except (KeyboardInterrupt, SystemExit):
                     raise
@@ -1108,7 +1201,27 @@ class Executor:
             except Exception as error:
                 last_error: BaseException = error
 
-            # Rung 3: bisection re-sharding, each half down the ladder.
+            # Rung 3: replica failover — the same query against an
+            # identical copy of the shard's data, so a dead or hung
+            # replica costs one rung, not the result.  Each alternate
+            # gets the full retry policy of rung 2.
+            for offset, alt_args in enumerate(alternates):
+                try:
+                    value = retry_call(
+                        lambda alt=tuple(alt_args): attempt(alt),
+                        policy.retry,
+                        sleep=sleep or time.sleep,
+                    ).value
+                    if depth == 0:
+                        shard.outcome = "replica"
+                        shard.replica = offset + 1
+                    return value
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as error:
+                    last_error = error
+
+            # Rung 4: bisection re-sharding, each half down the ladder.
             if (
                 policy.bisect
                 and split is not None
@@ -1120,7 +1233,7 @@ class Executor:
                         values = [
                             self._rescue(
                                 fn, part, shard, policy, split, merge,
-                                chaos, depth + 1, sleep,
+                                chaos, depth + 1, sleep, sites,
                             )
                             for part in parts
                         ]
@@ -1133,11 +1246,11 @@ class Executor:
                     except Exception as error:
                         last_error = error
 
-            # Rung 4: serial fallback in the calling process.
+            # Rung 5: serial fallback in the calling process.
             if policy.serial_fallback:
                 try:
                     value = self._attempt_once(
-                        fn, args, shard, policy, chaos, use_pool=False
+                        fn, args, shard, policy, chaos, sites, use_pool=False
                     )
                     if depth == 0:
                         shard.outcome = "serial"
@@ -1152,7 +1265,10 @@ class Executor:
         finally:
             shard.duration_s += time.perf_counter() - started
 
-    def _attempt_once(self, fn, args, shard, policy, chaos, *, use_pool):
+    def _attempt_once(
+        self, fn, args, shard, policy, chaos, sites=DEFAULT_CHAOS_SITES,
+        *, use_pool,
+    ):
         """One shard attempt: in-process, or on a fresh one-worker pool.
 
         Chaos is consulted every attempt so bounded faults
@@ -1162,7 +1278,7 @@ class Executor:
         possible without a pool).
         """
         shard.attempts += 1
-        directive = _consult_chaos(chaos)
+        directive = _consult_chaos(chaos, sites)
         backend = self.parallel.resolved_backend()
         deadline = policy.shard_deadline_s if policy is not None else None
         if not use_pool or backend == "serial":

@@ -1,0 +1,393 @@
+"""Unit tests for the replicated sharded index (:mod:`repro.index_cluster`).
+
+The contract under test is ISSUE-6's: for any shard count, worker count,
+and any single-replica loss under R >= 2, the scatter-gather results are
+bit-identical to the monolithic index, and shard health/failover is
+observable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annotation.association import _associate_unique_shard
+from repro.core.faults import Fault, FaultInjector
+from repro.core.monitor import MemeMonitor
+from repro.hashing.index import mih_neighbors_shard
+from repro.index_cluster import (
+    ShardConfig,
+    ShardedIndexCluster,
+    ShardedMonitor,
+    mix64,
+    rendezvous_shards,
+    shard_associate_kernel,
+    shard_config_from_env,
+    shard_radius_kernel,
+    sharded_associate_unique,
+    sharded_radius_neighbors,
+)
+from repro.utils.parallel import ParallelConfig
+
+
+def clustered_hashes(n: int, seed: int = 0) -> np.ndarray:
+    """A corpus with planted near-duplicate clusters (radius hits exist)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.integers(0, 2**64, max(1, n // 8), dtype=np.uint64)
+    base = centers[rng.integers(0, centers.size, n)]
+    flips = np.uint64(1) << rng.integers(0, 64, n, dtype=np.uint64)
+    noisy = np.where(rng.random(n) < 0.7, base ^ flips, base)
+    return noisy.astype(np.uint64)
+
+
+class TestPlacement:
+    def test_mix64_deterministic_and_avalanching(self):
+        values = np.arange(64, dtype=np.uint64)
+        once = mix64(values)
+        again = mix64(values)
+        assert once.dtype == np.uint64
+        assert np.array_equal(once, again)
+        # Bijective finalizer: no collisions on distinct inputs.
+        assert np.unique(once).size == values.size
+        # Flipping one input bit changes the output.
+        assert not np.array_equal(mix64(values ^ np.uint64(1)), once)
+
+    def test_rendezvous_is_deterministic_pure_function(self):
+        hashes = clustered_hashes(500)
+        assert np.array_equal(
+            rendezvous_shards(hashes, 4, seed=7),
+            rendezvous_shards(hashes, 4, seed=7),
+        )
+        assert not np.array_equal(
+            rendezvous_shards(hashes, 4, seed=7),
+            rendezvous_shards(hashes, 4, seed=8),
+        )
+
+    def test_rendezvous_spread_is_roughly_even(self):
+        hashes = np.unique(clustered_hashes(4000, seed=3))
+        placement = rendezvous_shards(hashes, 4)
+        counts = np.bincount(placement, minlength=4)
+        assert counts.min() > 0.6 * hashes.size / 4
+        assert counts.max() < 1.4 * hashes.size / 4
+
+    def test_rendezvous_moves_few_hashes_when_growing(self):
+        # The consistent-hashing property modulo placement lacks:
+        # adding one shard relocates only ~1/N of the corpus.
+        hashes = np.unique(clustered_hashes(4000, seed=4))
+        before = rendezvous_shards(hashes, 4)
+        after = rendezvous_shards(hashes, 5)
+        moved = np.mean(before != after)
+        assert moved < 0.35  # ~1/5 expected; << the ~4/5 of modulo
+
+    def test_single_shard_is_all_zeros(self):
+        placement = rendezvous_shards(clustered_hashes(100), 1)
+        assert np.array_equal(placement, np.zeros(100, dtype=np.int64))
+
+    def test_equal_hashes_share_a_shard(self):
+        hashes = np.array([7, 7, 7, 9, 9], dtype=np.uint64)
+        placement = rendezvous_shards(hashes, 8)
+        assert len(set(placement[:3].tolist())) == 1
+        assert len(set(placement[3:].tolist())) == 1
+
+    def test_shard_config_validation(self):
+        with pytest.raises(ValueError):
+            ShardConfig(n_shards=0)
+        with pytest.raises(ValueError):
+            ShardConfig(n_shards=2, replication=0)
+
+
+class TestShardConfigFromEnv:
+    def test_unset_is_monolithic(self):
+        assert shard_config_from_env({}) is None
+
+    def test_valid_env(self):
+        config = shard_config_from_env(
+            {"REPRO_INDEX_SHARDS": "4", "REPRO_REPLICATION": "3"}
+        )
+        assert config == ShardConfig(n_shards=4, replication=3)
+
+    def test_one_shard_is_monolithic(self):
+        assert shard_config_from_env({"REPRO_INDEX_SHARDS": "1"}) is None
+
+    def test_malformed_shards_warns_and_falls_back(self):
+        with pytest.warns(RuntimeWarning, match="REPRO_INDEX_SHARDS='four'"):
+            assert shard_config_from_env({"REPRO_INDEX_SHARDS": "four"}) is None
+
+    def test_malformed_replication_warns_and_falls_back(self):
+        with pytest.warns(RuntimeWarning, match="REPRO_REPLICATION='two'"):
+            config = shard_config_from_env(
+                {"REPRO_INDEX_SHARDS": "4", "REPRO_REPLICATION": "two"}
+            )
+        assert config == ShardConfig(n_shards=4, replication=2)
+
+    def test_out_of_range_replication_warns_and_falls_back(self):
+        with pytest.warns(RuntimeWarning, match="REPRO_REPLICATION='0'"):
+            config = shard_config_from_env(
+                {"REPRO_INDEX_SHARDS": "2", "REPRO_REPLICATION": "0"}
+            )
+        assert config == ShardConfig(n_shards=2, replication=2)
+
+    def test_parallel_config_from_env_picks_up_shards(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INDEX_SHARDS", "3")
+        config = ParallelConfig.from_env()
+        assert config.shards == ShardConfig(n_shards=3, replication=2)
+
+
+class TestShardKernels:
+    def test_radius_kernel_partitions_union_to_monolith(self):
+        hashes = clustered_hashes(600, seed=5)
+        placement = rendezvous_shards(hashes, 3)
+        monolith = mih_neighbors_shard(hashes, 0, hashes.size, 4)
+        merged = [np.empty(0, dtype=np.int64)] * hashes.size
+        for s in range(3):
+            positions = np.flatnonzero(placement == s).astype(np.int64)
+            partial = shard_radius_kernel(
+                hashes, 0, hashes.size, hashes[positions], positions, 4
+            )
+            merged = [
+                np.sort(np.concatenate([have, part]))
+                for have, part in zip(merged, partial)
+            ]
+        for row, expected in zip(merged, monolith):
+            assert np.array_equal(row, expected)
+
+    def test_radius_kernel_empty_shard(self):
+        queries = clustered_hashes(10)
+        rows = shard_radius_kernel(
+            queries,
+            0,
+            queries.size,
+            np.empty(0, dtype=np.uint64),
+            np.empty(0, dtype=np.int64),
+            4,
+        )
+        assert len(rows) == queries.size
+        assert all(row.size == 0 for row in rows)
+
+    def test_associate_kernel_matches_monolith_single_shard(self):
+        medoids = np.unique(clustered_hashes(64, seed=6))
+        ids = np.arange(medoids.size, dtype=np.int64) * 10
+        queries = clustered_hashes(200, seed=7)
+        positions = np.arange(medoids.size, dtype=np.int64)
+        best_position, best_distance = shard_associate_kernel(
+            queries, medoids, positions, 8
+        )
+        expect_cluster, expect_distance = _associate_unique_shard(
+            queries, ids, medoids, 8
+        )
+        matched = best_position >= 0
+        assert np.array_equal(best_distance, expect_distance)
+        assert np.array_equal(
+            np.where(matched, ids[np.where(matched, best_position, 0)], -1),
+            expect_cluster,
+        )
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+@pytest.mark.parametrize("workers", [1, 2])
+class TestScatterGatherIdentity:
+    def test_radius_neighbors_bit_identical(self, n_shards, workers):
+        hashes = clustered_hashes(800, seed=11)
+        monolith = mih_neighbors_shard(hashes, 0, hashes.size, 6)
+        parallel = ParallelConfig(
+            workers=workers,
+            backend="thread",
+            shards=ShardConfig(n_shards=n_shards, replication=2),
+        )
+        sharded = sharded_radius_neighbors(hashes, 6, parallel=parallel)
+        assert len(sharded) == len(monolith)
+        for row, expected in zip(sharded, monolith):
+            assert row.dtype == np.int64
+            assert np.array_equal(row, expected)
+
+    def test_associate_bit_identical(self, n_shards, workers):
+        medoids = np.unique(clustered_hashes(96, seed=12))
+        ids = np.arange(medoids.size, dtype=np.int64) * 3 + 1
+        queries = np.unique(clustered_hashes(400, seed=13))
+        expect_cluster, expect_distance = _associate_unique_shard(
+            queries, ids, medoids, 8
+        )
+        parallel = ParallelConfig(
+            workers=workers,
+            backend="thread",
+            shards=ShardConfig(n_shards=n_shards, replication=2),
+        )
+        cluster_ids, distances = sharded_associate_unique(
+            queries, ids, medoids, 8, parallel=parallel
+        )
+        assert np.array_equal(cluster_ids, expect_cluster)
+        assert np.array_equal(distances, expect_distance)
+
+
+class TestRouter:
+    def test_requires_shard_config(self):
+        parallel = ParallelConfig(shards="not-a-config")
+        with pytest.raises(TypeError, match="ShardConfig"):
+            sharded_radius_neighbors(
+                clustered_hashes(10), 4, parallel=parallel
+            )
+        with pytest.raises(TypeError, match="ShardConfig"):
+            sharded_associate_unique(
+                clustered_hashes(10),
+                np.arange(4, dtype=np.int64),
+                clustered_hashes(4),
+                8,
+                parallel=parallel,
+            )
+
+    def test_health_snapshot_after_clean_fanout(self):
+        hashes = clustered_hashes(300, seed=14)
+        cluster = ShardedIndexCluster(
+            hashes,
+            config=ShardConfig(n_shards=3, replication=2),
+            parallel=ParallelConfig(),
+        )
+        cluster.radius_neighbors(hashes, 4)
+        snapshot = cluster.health_snapshot()
+        assert [entry["shard"] for entry in snapshot] == [0, 1, 2]
+        assert sum(entry["size"] for entry in snapshot) == hashes.size
+        assert all(entry["outcome"] == "ok" for entry in snapshot)
+        assert all(entry["failures"] == 0 for entry in snapshot)
+        assert all(entry["serving_replica"] == 0 for entry in snapshot)
+
+    def test_replica_failover_rung_serves_identical_results(self):
+        # One logical shard, R=2: the first replica's attempts are all
+        # poisoned (first wave + retry rung = 3 consults with the
+        # default one-retry policy), so the 4th attempt is the replica
+        # rung — which must answer identically and become serving.
+        hashes = clustered_hashes(300, seed=15)
+        monolith = mih_neighbors_shard(hashes, 0, hashes.size, 4)
+        faults = FaultInjector(
+            [Fault("index:shard", RuntimeError, times=3)]
+        )
+        cluster = ShardedIndexCluster(
+            hashes,
+            config=ShardConfig(n_shards=1, replication=2),
+            parallel=ParallelConfig(chaos=faults.parallel_directive),
+        )
+        rows = cluster.radius_neighbors(hashes, 4)
+        for row, expected in zip(rows, monolith):
+            assert np.array_equal(row, expected)
+        report = cluster.last_report.shards[0]
+        assert report.outcome == "replica"
+        assert report.replica == 1
+        health = cluster.health_snapshot()[0]
+        assert health["serving_replica"] == 1
+        assert health["failures"] == 1
+        assert faults.fired_sites() == ["index:shard"] * 3
+
+    def test_index_replica_site_fires_for_cluster_fanouts(self):
+        hashes = clustered_hashes(200, seed=16)
+        faults = FaultInjector(
+            [Fault("index:replica", RuntimeError, times=1)]
+        )
+        cluster = ShardedIndexCluster(
+            hashes,
+            config=ShardConfig(n_shards=2, replication=2),
+            parallel=ParallelConfig(chaos=faults.parallel_directive),
+        )
+        monolith = mih_neighbors_shard(hashes, 0, hashes.size, 4)
+        rows = cluster.radius_neighbors(hashes, 4)
+        assert "index:replica" in faults.fired_sites()
+        for row, expected in zip(rows, monolith):
+            assert np.array_equal(row, expected)
+
+
+class TestShardedMonitor:
+    @pytest.fixture(scope="class")
+    def monolith(self, pipeline_result):
+        return MemeMonitor(pipeline_result)
+
+    @pytest.fixture(scope="class")
+    def probes(self, monolith):
+        rng = np.random.default_rng(21)
+        medoids = [
+            int(annotation.medoid_hash)
+            for annotation in monolith._annotations
+        ]
+        near = [
+            int(np.uint64(medoid) ^ (np.uint64(1) << np.uint64(k % 8)))
+            for k, medoid in enumerate(medoids)
+        ]
+        far = [int(h) for h in rng.integers(0, 2**64, 200, dtype=np.uint64)]
+        return medoids + near + far
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_verdicts_identical_to_monolith(
+        self, pipeline_result, monolith, probes, n_shards
+    ):
+        sharded = ShardedMonitor(
+            pipeline_result,
+            shards=ShardConfig(n_shards=n_shards, replication=2),
+        )
+        for value in probes:
+            expected = monolith.classify_hash(value)
+            got = sharded.classify_hash(value)
+            assert got == expected
+
+    def test_failover_is_sticky_and_identical(
+        self, pipeline_result, monolith, probes
+    ):
+        faults = FaultInjector(
+            [Fault("index:replica", action="kill", times=1)]
+        )
+        events = []
+        sharded = ShardedMonitor(
+            pipeline_result,
+            shards=ShardConfig(n_shards=2, replication=2),
+            chaos=faults.parallel_directive,
+            on_failover=lambda shard, replica: events.append(
+                ("failover", shard, replica)
+            ),
+            on_error=lambda shard, replica, error: events.append(
+                ("error", shard, replica)
+            ),
+        )
+        for value in probes:
+            assert sharded.classify_hash(value) == monolith.classify_hash(
+                value
+            )
+        assert faults.fired_sites() == ["index:replica"]
+        assert ("error", 0, 0) in events
+        assert ("failover", 0, 1) in events
+        snapshot = sharded.health_snapshot()
+        assert snapshot[0]["serving_replica"] == 1
+        assert snapshot[0]["failovers"] == 1
+        assert snapshot[0]["errors"] == 1
+
+    def test_all_replicas_dead_raises(self, pipeline_result):
+        faults = FaultInjector(
+            [Fault("index:shard", action="kill", times=2)]
+        )
+        sharded = ShardedMonitor(
+            pipeline_result,
+            shards=ShardConfig(n_shards=1, replication=2),
+            chaos=faults.parallel_directive,
+        )
+        with pytest.raises(RuntimeError, match="all 2 replicas failed"):
+            sharded.classify_hash(12345)
+
+    def test_validate_shards(self, pipeline_result):
+        sharded = ShardedMonitor(
+            pipeline_result, shards=ShardConfig(n_shards=3, replication=2)
+        )
+        assert sharded.validate_shards() == 3
+        # Corrupt one replica: validation must catch the divergence.
+        index, _positions = sharded._replicas[0][1]
+        if index.hashes.size:
+            index.hashes[0] ^= np.uint64(1)
+            with pytest.raises(ValueError, match="replica 1 diverges"):
+                sharded.validate_shards()
+
+    def test_rejects_non_shard_config(self, pipeline_result):
+        with pytest.raises(TypeError, match="ShardConfig"):
+            ShardedMonitor(pipeline_result, shards=4)
+
+    def test_input_validation_matches_monolith(self, pipeline_result):
+        sharded = ShardedMonitor(
+            pipeline_result, shards=ShardConfig(n_shards=2)
+        )
+        with pytest.raises(TypeError):
+            sharded.classify_hash("not-a-hash")
+        with pytest.raises(ValueError):
+            sharded.classify_hash(2**64)

@@ -697,3 +697,120 @@ class TestCostModel:
     def test_kernel_timer_noop_without_model(self):
         with kernel_timer(ParallelConfig(workers=2, backend="thread"), "k", 10):
             pass  # must not raise or record anything
+
+
+def _reject_marker(value):
+    """Raise for primary-replica payloads, succeed for alternates.
+
+    Module-level so the process backend could pickle it; the replica
+    rung receives the alternate argument tuples verbatim.
+    """
+    if value == "primary":
+        raise ValueError("primary replica is poisoned")
+    return value
+
+
+class TestReplicaFailoverRung:
+    def test_alternate_args_rescue_a_dead_primary(self):
+        executor = Executor(ParallelConfig(workers=2, backend="thread"))
+        sup = executor.supervised_starmap(
+            _reject_marker,
+            [("primary",), ("healthy-0",)],
+            alternates=[[("replica-of-0",)], []],
+            sleep=_no_sleep,
+        )
+        assert sup.results == ["replica-of-0", "healthy-0"]
+        assert sup.complete
+        shard = sup.report.shards[0]
+        assert shard.outcome == "replica"
+        assert shard.replica == 1
+        assert shard.recovered
+        # first wave + retry rung (default 2 retries) + replica rung
+        assert shard.attempts == 4
+        assert any("poisoned" in error for error in shard.errors)
+        assert sup.report.shards[1].outcome == "ok"
+
+    def test_second_alternate_when_first_also_fails(self):
+        executor = Executor(ParallelConfig(workers=1, backend="thread"))
+        sup = executor.supervised_starmap(
+            _reject_marker,
+            [("primary",)],
+            alternates=[[("primary",), ("last-copy",)]],
+            sleep=_no_sleep,
+        )
+        assert sup.results == ["last-copy"]
+        assert sup.report.shards[0].outcome == "replica"
+        assert sup.report.shards[0].replica == 2
+
+    def test_alternates_length_must_match_calls(self):
+        executor = Executor(ParallelConfig(workers=2, backend="thread"))
+        with pytest.raises(ValueError, match="alternates"):
+            executor.supervised_starmap(
+                _add, [(1, 2), (3, 4)], alternates=[[(1, 2)]]
+            )
+
+    def test_exhausted_alternates_fall_through_to_ladder(self):
+        # Every replica poisoned: the ladder keeps walking (bisect /
+        # serial fallback) and the shard quarantines with the gap
+        # explicit — alternates must not short-circuit the contract.
+        executor = Executor(ParallelConfig(workers=2, backend="thread"))
+        sup = executor.supervised_starmap(
+            _reject_marker,
+            [("primary",), ("healthy",)],
+            alternates=[[("primary",)], []],
+            sleep=_no_sleep,
+        )
+        assert sup.results == [None, "healthy"]
+        assert sup.report.quarantined == [0]
+
+
+class TestCostModelSaveAtomicity:
+    def test_interleaved_writers_never_tear_the_file(self, tmp_path):
+        # Regression: save() used a fixed-name `.tmp` sibling, so two
+        # concurrent writers (shared cache dir) could rename each
+        # other's half-written temp into place.  With unique fsynced
+        # temps the final file is always one writer's complete state.
+        import json as json_mod
+        import threading
+
+        path = tmp_path / "cost_model.json"
+        models = []
+        for index in range(4):
+            model = CostModel(path, cpu_count=2)
+            model.observe(f"kernel-{index}", "serial", units=100, seconds=1.0)
+            models.append(model)
+        errors = []
+
+        def hammer(model):
+            try:
+                for _ in range(25):
+                    model.save()
+            except Exception as error:  # pragma: no cover - the bug
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(model,))
+            for model in models
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Parseable, and exactly one writer's state — never a mix.
+        state = json_mod.loads(path.read_text())
+        assert set(state["rates"]) in (
+            {f"kernel-{index}"} for index in range(4)
+        )
+        # No orphaned temp files left behind in the shared directory.
+        assert [entry.name for entry in tmp_path.iterdir()] == [path.name]
+
+    def test_failed_write_leaves_no_temp_litter(self, tmp_path, monkeypatch):
+        model = CostModel(tmp_path / "cost_model.json", cpu_count=2)
+        monkeypatch.setattr(
+            "repro.utils.parallel.os.replace",
+            lambda *args: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        with pytest.raises(OSError):
+            model.save()
+        assert list(tmp_path.iterdir()) == []
