@@ -24,6 +24,7 @@ from repro.utils.parallel import (
     shard_bounds,
     strict_supervision,
 )
+from repro.utils.shm import resolve_array, shared_inputs
 
 __all__ = ["AssociationResult", "associate_hashes"]
 
@@ -76,10 +77,13 @@ def _associate_unique_shard(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Nearest-medoid lookups for one shard of unique hashes.
 
-    Module-level so process workers can receive pickled shards; the
-    medoid index is rebuilt per shard (it is tiny — one entry per
-    annotated cluster).
+    Module-level so process workers can receive pickled shards (or shm
+    descriptors); the medoid index is rebuilt per shard (it is tiny —
+    one entry per annotated cluster).
     """
+    unique = resolve_array(unique, np.uint64)
+    id_array = resolve_array(id_array, np.int64)
+    medoid_array = resolve_array(medoid_array, np.uint64)
     index = MultiIndexHash(medoid_array)
     unique_cluster = np.full(unique.size, UNASSIGNED, dtype=np.int64)
     unique_distance = np.full(unique.size, -1, dtype=np.int64)
@@ -160,18 +164,29 @@ def associate_hashes(
             )
     else:
         with kernel_timer(parallel, "associate_hashes", int(unique.size)):
-            sup = Executor(parallel).supervised_starmap(
-                _associate_unique_shard,
-                [
-                    (unique[start:stop], id_array, medoid_array, theta)
-                    for start, stop in shard_bounds(unique.size, parallel)
-                ],
-                policy=strict_supervision(parallel),
-                split=array_splitter(0),
-                merge=_merge_association_parts,
-            )
-            unique_cluster = np.concatenate([part[0] for part in sup.results])
-            unique_distance = np.concatenate([part[1] for part in sup.results])
+            # shm transport: queries and the (tiny) medoid tables are
+            # published once; shards ship sliced descriptors.
+            with shared_inputs(parallel, unique, id_array, medoid_array) as (
+                unique_src,
+                ids_src,
+                medoids_src,
+            ):
+                sup = Executor(parallel).supervised_starmap(
+                    _associate_unique_shard,
+                    [
+                        (unique_src[start:stop], ids_src, medoids_src, theta)
+                        for start, stop in shard_bounds(unique.size, parallel)
+                    ],
+                    policy=strict_supervision(parallel),
+                    split=array_splitter(0),
+                    merge=_merge_association_parts,
+                )
+                unique_cluster = np.concatenate(
+                    [part[0] for part in sup.results]
+                )
+                unique_distance = np.concatenate(
+                    [part[1] for part in sup.results]
+                )
 
     cluster_ids[:] = unique_cluster[inverse]
     distances[:] = unique_distance[inverse]

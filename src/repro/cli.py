@@ -36,10 +36,12 @@ valid checkpoints instead of recomputing completed stages) and
 ``--workers N`` fans the hot paths (clustering neighbourhoods,
 association, per-cluster Hawkes fits) out over N workers;
 ``--parallel-backend`` picks ``thread`` or ``process`` (default
-``auto`` = process for N > 1).  Output is bit-identical for any worker
-count::
+``auto`` = process for N > 1) and ``--transport shm`` ships process
+shards as zero-copy shared-memory descriptors instead of pickled
+copies.  Output is bit-identical for any worker count, backend, and
+transport::
 
-    python -m repro --workers 4 report
+    python -m repro --workers 4 --transport shm report
 
 ``--cache-dir DIR`` turns on content-addressed memoization
 (:mod:`repro.core.cache`): a re-run with unchanged inputs reports
@@ -115,6 +117,7 @@ from repro.core import PipelineConfig, RunnerOptions, RunnerPolicy, run_pipeline
 from repro.utils.io import CheckpointLockError
 from repro.utils.parallel import (
     BACKENDS,
+    TRANSPORTS,
     CostModel,
     ParallelConfig,
     SupervisionPolicy,
@@ -193,6 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="executor backend for --workers (auto = process when "
         "workers > 1)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=TRANSPORTS,
+        default=None,
+        help="shard input transport for process workers (default: "
+        "REPRO_TRANSPORT env var, else pickle); shm publishes each "
+        "fan-out's input arrays once into POSIX shared memory and "
+        "ships zero-copy descriptors instead of pickled copies — "
+        "output is bit-identical either way",
     )
     parser.add_argument(
         "--index-shards",
@@ -420,6 +433,7 @@ def _parallel_config(args) -> ParallelConfig | None:
         and cost_model is None
         and args.index_shards is None
         and args.replication is None
+        and args.transport is None
     ):
         return None
     if args.workers is None and args.parallel_backend is None:
@@ -429,18 +443,21 @@ def _parallel_config(args) -> ParallelConfig | None:
             supervision=supervision,
             cost_model=cost_model,
             shards=_shard_config(args, base.shards),
+            transport=args.transport or base.transport,
         )
     workers = args.workers if args.workers is not None else 1
     if workers > 1:
         warn_if_oversubscribed(workers, source="--workers")
     from repro.index_cluster.placement import shard_config_from_env
 
+    env_transport = ParallelConfig.from_env().transport
     return ParallelConfig(
         workers=workers,
         backend=args.parallel_backend or "auto",
         supervision=supervision,
         cost_model=cost_model,
         shards=_shard_config(args, shard_config_from_env()),
+        transport=args.transport or env_transport,
     )
 
 

@@ -149,6 +149,17 @@ class MemeMonitor:
         """Number of known meme clusters."""
         return len(self._keys)
 
+    def close(self) -> None:
+        """Release resources held beyond the interpreter heap.
+
+        The base monitor owns only in-process indexes, so this is a
+        no-op — but the serving layer calls it on every monitor it
+        displaces (see ``MemeMatchService.reload_index``), so a
+        subclass backed by external resources (e.g. published
+        shared-memory segments) reclaims them by overriding this.
+        Must be idempotent.
+        """
+
     def classify_hash(self, value: np.uint64 | int) -> MonitorVerdict:
         """Classify a pre-computed pHash.
 

@@ -21,7 +21,9 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.utils import compiled
 from repro.utils.bitops import hamming_distance, hamming_to_many, popcount
+from repro.utils.shm import resolve_array
 
 __all__ = ["BKTree", "MultiIndexHash", "mih_neighbors_shard"]
 
@@ -224,8 +226,10 @@ def mih_neighbors_shard(
     """Self-join MIH neighbour lists for the query range ``start:stop``.
 
     The shard kernel behind the parallel ``radius_neighbors`` path:
-    module-level (process workers receive the pickled ``uint64`` shard
-    arguments), and output-identical to calling
+    module-level (process workers receive either the pickled ``uint64``
+    shard array or a zero-copy
+    :class:`repro.utils.shm.ShmArrayRef` descriptor under the shm
+    transport), and output-identical to calling
     ``MultiIndexHash(hashes).query_indices(...)`` per query — sorted,
     duplicate-free, self included.
 
@@ -234,12 +238,23 @@ def mih_neighbors_shard(
     of Python dict buckets, the candidate array for a (chunk, byte
     value) pair is cached across queries (cluster members share chunk
     bytes), and verification runs popcount over the concatenated
-    candidates before deduplicating only the survivors.
+    candidates before deduplicating only the survivors.  When the
+    compiled tier is active (``REPRO_COMPILED``) the whole query loop
+    runs natively with bit-identical output.
     """
     if radius < 0:
         raise ValueError("radius must be non-negative")
-    hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
+    hashes = resolve_array(hashes, np.uint64)
     n_chunks = MultiIndexHash.N_CHUNKS
+    fast = compiled.mih_query_batch(
+        hashes,
+        int(start),
+        int(stop),
+        radius,
+        [_bytes_within(value, radius // n_chunks) for value in range(256)],
+    )
+    if fast is not None:
+        return fast
     per_chunk = radius // n_chunks
     chunk_values = hashes.view(np.uint8).reshape(-1, n_chunks)
     all_bytes = np.arange(256)

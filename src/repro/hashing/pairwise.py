@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.hashing.index import MultiIndexHash, mih_neighbors_shard
+from repro.utils import compiled
 from repro.utils.bitops import hamming_distance_matrix
 from repro.utils.parallel import (
     Executor,
@@ -26,6 +27,7 @@ from repro.utils.parallel import (
     shard_bounds,
     strict_supervision,
 )
+from repro.utils.shm import resolve_array, shared_inputs
 
 __all__ = [
     "PairwiseResult",
@@ -82,8 +84,10 @@ def _brute_neighbors_shard(
 ) -> list[np.ndarray]:
     """Brute-force neighbour lists for the query range ``start:stop``.
 
-    Module-level so process workers can receive pickled shards.
+    Module-level so process workers can receive pickled shards (or shm
+    descriptors, which resolve to read-only views here).
     """
+    hashes = resolve_array(hashes, np.uint64)
     matrix = hamming_distance_matrix(
         hashes[start:stop], hashes, parallel=ParallelConfig()
     )
@@ -151,7 +155,7 @@ def radius_neighbors(
             parallel, "radius_neighbors_sharded", int(hashes.size)
         ):
             return sharded_radius_neighbors(hashes, radius, parallel=parallel)
-    kernel = f"radius_neighbors_{method}"
+    kernel = compiled.kernel_variant(f"radius_neighbors_{method}")
     parallel = parallel.dispatched(kernel, int(hashes.size))
     if parallel.is_serial or hashes.size < parallel.workers * 2:
         with kernel_timer(parallel, kernel, int(hashes.size), backend="serial"):
@@ -166,17 +170,21 @@ def radius_neighbors(
             return mih_neighbors_shard(hashes, 0, int(hashes.size), radius)
     shard_fn = _brute_neighbors_shard if method == "brute" else mih_neighbors_shard
     with kernel_timer(parallel, kernel, int(hashes.size)):
-        sup = Executor(parallel).supervised_starmap(
-            shard_fn,
-            [
-                (hashes, start, stop, radius)
-                for start, stop in shard_bounds(hashes.size, parallel)
-            ],
-            policy=strict_supervision(parallel),
-            split=range_splitter(1, 2),
-            merge=_merge_neighbor_lists,
-        )
-        return [row for shard in sup.results for row in shard]
+        # shm transport: the hash corpus is published once and every
+        # shard ships a descriptor + query range instead of a pickled
+        # copy of the whole array per task.
+        with shared_inputs(parallel, hashes) as (hashes_src,):
+            sup = Executor(parallel).supervised_starmap(
+                shard_fn,
+                [
+                    (hashes_src, start, stop, radius)
+                    for start, stop in shard_bounds(hashes.size, parallel)
+                ],
+                policy=strict_supervision(parallel),
+                split=range_splitter(1, 2),
+                merge=_merge_neighbor_lists,
+            )
+            return [row for shard in sup.results for row in shard]
 
 
 def patch_radius_neighbors(

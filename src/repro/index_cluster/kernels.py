@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.hashing.index import MultiIndexHash, _bytes_within
 from repro.utils.bitops import popcount
+from repro.utils.shm import resolve_array
 
 __all__ = ["shard_associate_kernel", "shard_radius_kernel"]
 
@@ -77,13 +78,9 @@ def shard_radius_kernel(
     """
     if radius < 0:
         raise ValueError("radius must be non-negative")
-    queries = np.ascontiguousarray(queries, dtype=np.uint64).reshape(-1)
-    shard_values = np.ascontiguousarray(
-        shard_values, dtype=np.uint64
-    ).reshape(-1)
-    shard_positions = np.ascontiguousarray(
-        shard_positions, dtype=np.int64
-    ).reshape(-1)
+    queries = resolve_array(queries, np.uint64)
+    shard_values = resolve_array(shard_values, np.uint64)
+    shard_positions = resolve_array(shard_positions, np.int64)
     if shard_values.size != shard_positions.size:
         raise ValueError("shard_values and shard_positions must align")
     n_queries = max(0, int(qstop) - int(qstart))
@@ -203,13 +200,9 @@ def shard_associate_kernel(
 
     Supports bisection over the query array (``array_splitter(0)``).
     """
-    unique = np.ascontiguousarray(unique, dtype=np.uint64).reshape(-1)
-    medoid_values = np.ascontiguousarray(
-        medoid_values, dtype=np.uint64
-    ).reshape(-1)
-    medoid_positions = np.ascontiguousarray(
-        medoid_positions, dtype=np.int64
-    ).reshape(-1)
+    unique = resolve_array(unique, np.uint64)
+    medoid_values = resolve_array(medoid_values, np.uint64)
+    medoid_positions = resolve_array(medoid_positions, np.int64)
     if medoid_values.size != medoid_positions.size:
         raise ValueError("medoid_values and medoid_positions must align")
     best_position = np.full(unique.size, -1, dtype=np.int64)

@@ -50,6 +50,7 @@ from repro.utils.parallel import (
     resolve_parallel,
     strict_supervision,
 )
+from repro.utils.shm import get_registry, shared_inputs
 
 __all__ = [
     "ShardHealth",
@@ -149,6 +150,41 @@ class ShardedIndexCluster:
                 )
             )
         self.last_report: ExecutionReport | None = None
+        # Under the shm transport every replica pair is published once
+        # at construction; scatter tasks then carry descriptors instead
+        # of pickling each replica's arrays to the pool per fan-out.
+        # The plain arrays above remain the source of truth (serial
+        # fallback and the monolith-identity contract never touch shm).
+        self._published: list = []
+        if self.parallel.uses_shm:
+            registry = get_registry()
+            self._scatter_replicas = []
+            for copies in self.replicas:
+                shared_copies = []
+                for values, positions in copies:
+                    value_ref = registry.publish(values)
+                    position_ref = registry.publish(positions)
+                    shared_copies.append((value_ref, position_ref))
+                    self._published.extend((value_ref, position_ref))
+                self._scatter_replicas.append(shared_copies)
+        else:
+            self._scatter_replicas = self.replicas
+
+    def close(self) -> None:
+        """Release the cluster's published shared-memory segments.
+
+        Idempotent; a no-op on the pickle transport.  In-flight
+        resolutions keep working (an unlinked segment stays mapped
+        until each attachment closes), so closing after the last
+        fan-out is always safe.
+        """
+        if not self._published:
+            return
+        registry = get_registry()
+        for ref in self._published:
+            registry.release(ref)
+        self._published = []
+        self._scatter_replicas = self.replicas
 
     # -- scatter-gather -------------------------------------------------
 
@@ -166,7 +202,7 @@ class ShardedIndexCluster:
         alternates = []
         for s in range(self.config.n_shards):
             serving = self.health[s].serving_replica % self.config.replication
-            copies = self.replicas[s]
+            copies = self._scatter_replicas[s]
             rotation = [
                 copies[(serving + r) % self.config.replication]
                 for r in range(self.config.replication)
@@ -206,19 +242,20 @@ class ShardedIndexCluster:
         n = int(queries.size)
         if n == 0:
             return []
-        partials = self._scatter(
-            lambda values, positions: (
-                queries,
-                0,
-                n,
-                values,
-                positions,
-                radius,
-            ),
-            shard_radius_kernel,
-            range_splitter(1, 2),
-            _merge_radius_parts,
-        )
+        with shared_inputs(self.parallel, queries) as (queries_src,):
+            partials = self._scatter(
+                lambda values, positions: (
+                    queries_src,
+                    0,
+                    n,
+                    values,
+                    positions,
+                    radius,
+                ),
+                shard_radius_kernel,
+                range_splitter(1, 2),
+                _merge_radius_parts,
+            )
         # Deterministic gather: per query, partitions are disjoint, so
         # a plain sort of the concatenated partial rows reproduces the
         # monolithic sorted-unique row.
@@ -245,12 +282,18 @@ class ShardedIndexCluster:
         if unique.size == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy()
-        partials = self._scatter(
-            lambda values, positions: (unique, values, positions, theta),
-            shard_associate_kernel,
-            array_splitter(0),
-            _merge_associate_parts,
-        )
+        with shared_inputs(self.parallel, unique) as (unique_src,):
+            partials = self._scatter(
+                lambda values, positions: (
+                    unique_src,
+                    values,
+                    positions,
+                    theta,
+                ),
+                shard_associate_kernel,
+                array_splitter(0),
+                _merge_associate_parts,
+            )
         best_position, best_distance = partials[0]
         best_position = best_position.copy()
         best_distance = best_distance.copy()
@@ -289,7 +332,10 @@ def sharded_radius_neighbors(
             f"parallel.shards must be a ShardConfig, got {type(config).__name__}"
         )
     cluster = ShardedIndexCluster(hashes, config=config, parallel=parallel)
-    return cluster.radius_neighbors(hashes, radius)
+    try:
+        return cluster.radius_neighbors(hashes, radius)
+    finally:
+        cluster.close()
 
 
 def sharded_associate_unique(
@@ -315,7 +361,10 @@ def sharded_associate_unique(
     cluster = ShardedIndexCluster(
         medoid_array, config=config, parallel=parallel
     )
-    best_position, best_distance = cluster.associate(unique, theta)
+    try:
+        best_position, best_distance = cluster.associate(unique, theta)
+    finally:
+        cluster.close()
     id_array = np.ascontiguousarray(id_array, dtype=np.int64).reshape(-1)
     unique_cluster = np.full(unique.size, -1, dtype=np.int64)
     matched = best_position >= 0

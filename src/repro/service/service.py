@@ -406,7 +406,13 @@ class MemeMatchService:
                 duration_s=self.clock() - start,
             )
         with self._swap_lock:
+            displaced = self._monitor
             self._monitor = monitor
+        # Release the displaced monitor only after the swap: requests
+        # already inside classify keep their reference (and any mapped
+        # segments stay valid until their attachments close), while new
+        # requests only ever see the fresh index.
+        displaced.close()
         self.stats.reloads += 1
         return ReloadReport(
             ok=True,

@@ -123,8 +123,20 @@ def _matrix_rows(
 ) -> np.ndarray:
     """Dense distance rows for one shard of ``a`` against all of ``b``.
 
-    Module-level so process workers can receive pickled shards.
+    Module-level so process workers can receive pickled shards — or,
+    under the shm transport, zero-copy
+    :class:`repro.utils.shm.ShmArrayRef` descriptors.  The compiled
+    tier (``REPRO_COMPILED``) replaces the broadcast loop with a fused
+    native popcount, bit-identically.
     """
+    from repro.utils import compiled
+    from repro.utils.shm import resolve_array
+
+    a = resolve_array(a, np.uint64)
+    b = resolve_array(b, np.uint64)
+    fast = compiled.hamming_matrix(a, b)
+    if fast is not None:
+        return fast
     out = np.empty((a.size, b.size), dtype=np.int64)
     for start in range(0, a.size, chunk_size):
         stop = min(start + chunk_size, a.size)
@@ -177,6 +189,7 @@ def hamming_distance_matrix(
     numpy.ndarray
         ``(len(a), len(b))`` matrix of ``int64`` distances.
     """
+    from repro.utils import compiled
     from repro.utils.parallel import (
         Executor,
         array_splitter,
@@ -185,24 +198,29 @@ def hamming_distance_matrix(
         shard_bounds,
         strict_supervision,
     )
+    from repro.utils.shm import shared_inputs
 
     a = np.ascontiguousarray(a, dtype=np.uint64)
     b = a if b is None else np.ascontiguousarray(b, dtype=np.uint64)
     units = int(a.size) * int(b.size)
-    parallel = resolve_parallel(parallel).dispatched(
-        "hamming_distance_matrix", units
-    )
+    kernel = compiled.kernel_variant("hamming_distance_matrix")
+    parallel = resolve_parallel(parallel).dispatched(kernel, units)
     if parallel.is_serial or a.size < parallel.workers * 2:
-        with kernel_timer(
-            parallel, "hamming_distance_matrix", units, backend="serial"
-        ):
+        with kernel_timer(parallel, kernel, units, backend="serial"):
             return _matrix_rows(a, b, chunk_size)
-    with kernel_timer(parallel, "hamming_distance_matrix", units):
-        sup = Executor(parallel).supervised_starmap(
-            _matrix_rows,
-            [(a[start:stop], b, chunk_size) for start, stop in shard_bounds(a.size, parallel)],
-            policy=strict_supervision(parallel),
-            split=array_splitter(0),
-            merge=_merge_matrix_rows,
-        )
-        return np.concatenate(sup.results, axis=0)
+    with kernel_timer(parallel, kernel, units):
+        # Under the shm transport both operands are published once and
+        # shards carry window descriptors; otherwise the arrays pass
+        # through untouched and each task pickles its slice as before.
+        with shared_inputs(parallel, a, b) as (a_src, b_src):
+            sup = Executor(parallel).supervised_starmap(
+                _matrix_rows,
+                [
+                    (a_src[start:stop], b_src, chunk_size)
+                    for start, stop in shard_bounds(a.size, parallel)
+                ],
+                policy=strict_supervision(parallel),
+                split=array_splitter(0),
+                merge=_merge_matrix_rows,
+            )
+            return np.concatenate(sup.results, axis=0)

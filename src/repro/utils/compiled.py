@@ -1,0 +1,468 @@
+"""Optional compiled tier for the popcount-heavy inner loops.
+
+The two hottest kernels — the batched MIH self-join
+(:func:`repro.hashing.index.mih_neighbors_shard`) and the dense Hamming
+matrix (:func:`repro.utils.bitops._matrix_rows`) — spend most of their
+time in per-query Python overhead and broadcast temporaries that a
+30-line native loop eliminates.  This module provides that loop behind
+a strict contract:
+
+* **Env-gated.**  ``REPRO_COMPILED`` selects the tier: unset/``0``
+  keeps the pure-numpy kernels (the default — importing this module
+  never compiles anything); ``1``/``auto`` picks the best available
+  implementation; ``numba`` or ``cc`` pin one.  A requested tier that
+  is unavailable falls back to numpy with a one-time
+  :class:`RuntimeWarning` — outputs never change, only wall time.
+* **Identical outputs.**  Every compiled kernel reproduces the numpy
+  kernel bit for bit (same dtypes, same ordering, same tie-breaks);
+  ``tests/test_utils_compiled.py`` pins this, and the parallel
+  identity suite runs unchanged on top.
+* **No new dependencies.**  The ``numba`` tier activates only when
+  numba is already importable.  The ``cc`` tier compiles a small C
+  file at first use with whatever C compiler the host already has
+  (``cc``/``gcc``/``clang``), caching the shared object under the
+  system temp directory keyed by source digest — so the compile cost
+  is paid once per source revision, not per process, and forked pool
+  workers inherit the loaded library for free.  Hosts with neither
+  numba nor a compiler simply stay on numpy.
+
+Callers probe with the ``*_or_none`` convention: each kernel returns
+``None`` when the tier is off or unavailable, and the call site falls
+through to its numpy implementation.  :func:`kernel_variant` suffixes
+cost-model kernel names with the active tier so compiled-tier
+throughput observations never contaminate numpy-tier calibration.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "ENV_COMPILED",
+    "enabled",
+    "hamming_matrix",
+    "kernel_variant",
+    "mih_query_batch",
+    "refresh",
+    "tier",
+]
+
+ENV_COMPILED = "REPRO_COMPILED"
+
+_OFF_VALUES = ("", "0", "off", "false", "no")
+_AUTO_VALUES = ("1", "on", "true", "yes", "auto")
+
+_C_SOURCE = r"""
+#include <stdlib.h>
+#include <string.h>
+
+/* Dense Hamming distances: out[i*nb + j] = popcount(a[i] ^ b[j]). */
+void hamming_matrix(
+    const unsigned long long *a, long long na,
+    const unsigned long long *b, long long nb,
+    long long *out)
+{
+    for (long long i = 0; i < na; i++) {
+        const unsigned long long ai = a[i];
+        long long *row = out + i * nb;
+        for (long long j = 0; j < nb; j++)
+            row[j] = (long long)__builtin_popcountll(ai ^ b[j]);
+    }
+}
+
+static int cmp_ll(const void *pa, const void *pb)
+{
+    const long long a = *(const long long *)pa;
+    const long long b = *(const long long *)pb;
+    return (a > b) - (a < b);
+}
+
+/* Ascending in-place sort; insertion sort for the short rows that
+ * dominate (cluster-sized neighbourhoods), qsort past that. */
+static void sort_ll(long long *values, long long count)
+{
+    if (count <= 32) {
+        for (long long i = 1; i < count; i++) {
+            const long long v = values[i];
+            long long j = i - 1;
+            while (j >= 0 && values[j] > v) {
+                values[j + 1] = values[j];
+                j--;
+            }
+            values[j + 1] = v;
+        }
+        return;
+    }
+    qsort(values, (size_t)count, sizeof(long long), cmp_ll);
+}
+
+/* Batched MIH self-join for queries [qstart, qstop): pigeonhole
+ * candidate gathering over per-chunk byte groups, popcount
+ * verification inline at each visit, then sort + adjacent-unique over
+ * the (small) match set — the exact numpy kernel semantics (np.unique
+ * of surviving candidates) without the per-query Python loop.
+ * Verifying at the visit beats a seen-byte dedup map: candidate
+ * visits dominate the run, and the map costs a second random access
+ * per visit to save popcounts on the rare revisit (a member is
+ * revisited only once per extra chunk its byte falls in the ball of,
+ * at most 8 times, and nearly always verifies to a match anyway).
+ *
+ * orders:  8*n   — per chunk, positions sorted by that chunk's byte
+ * lefts:   8*256 — per chunk, group start per byte value
+ * rights:  8*256 — per chunk, group stop per byte value
+ * ball_bytes/ball_starts — probe ball per byte value (257 offsets)
+ * cand:    8*n scratch (a match can be visited once per chunk)
+ * out/cap: flat result buffer; counts[q - qstart] = row length
+ *
+ * Returns the first unprocessed query index (== qstop when done): a
+ * query whose row would overflow `out` is left for the caller to
+ * retry with a larger buffer.  *out_len is the number of values
+ * written. */
+long long mih_query_batch(
+    const unsigned long long *hashes, long long n,
+    const long long *orders,
+    const long long *lefts,
+    const long long *rights,
+    const unsigned char *ball_bytes,
+    const long long *ball_starts,
+    long long qstart, long long qstop,
+    long long radius,
+    long long *cand,
+    long long *out, long long cap,
+    long long *counts,
+    long long *out_len)
+{
+    long long written = 0;
+    for (long long q = qstart; q < qstop; q++) {
+        const unsigned long long hq = hashes[q];
+        long long nmatch = 0;
+        for (int c = 0; c < 8; c++) {
+            const unsigned char byte = (unsigned char)(hq >> (8 * c));
+            const long long *order = orders + (long long)c * n;
+            const long long *left = lefts + c * 256;
+            const long long *right = rights + c * 256;
+            for (long long p = ball_starts[byte];
+                 p < ball_starts[byte + 1]; p++) {
+                const unsigned char probe = ball_bytes[p];
+                for (long long k = left[probe]; k < right[probe]; k++) {
+                    const long long pos = order[k];
+                    if (__builtin_popcountll(hq ^ hashes[pos]) <= radius)
+                        cand[nmatch++] = pos;
+                }
+            }
+        }
+        sort_ll(cand, nmatch);
+        long long count = 0;
+        for (long long j = 0; j < nmatch; j++)
+            if (j == 0 || cand[j] != cand[j - 1])
+                cand[count++] = cand[j];
+        if (written + count > cap) {
+            *out_len = written;
+            return q;
+        }
+        memcpy(out + written, cand, (size_t)count * sizeof(long long));
+        written += count;
+        counts[q - qstart] = count;
+    }
+    *out_len = written;
+    return qstop;
+}
+"""
+
+_LL = ctypes.c_longlong
+_LL_P = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_U64_P = np.ctypeslib.ndpointer(dtype=np.uint64, flags="C_CONTIGUOUS")
+_U8_P = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
+
+_lock = threading.Lock()
+_resolved: dict | None = None
+
+
+def refresh() -> None:
+    """Forget the resolved tier (tests flip ``REPRO_COMPILED`` and call
+    this; production code never needs it)."""
+    global _resolved
+    with _lock:
+        _resolved = None
+
+
+def _find_compiler() -> str | None:
+    for name in ("cc", "gcc", "clang"):
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+# -march=native matters here, not just -O3: without it the compiler
+# targets the baseline ISA, where __builtin_popcountll expands to a
+# multi-instruction bit-twiddling sequence instead of the single POPCNT
+# the popcount-per-visit inner loops are designed around.  Hosts whose
+# compiler rejects the flag (rare cross toolchains) fall back to plain
+# -O3 — slower, still correct.
+_CC_FLAGS = ("-O3", "-march=native")
+_CC_FALLBACK_FLAGS = ("-O3",)
+
+
+def _load_cc_library() -> ctypes.CDLL | None:
+    """Compile (once per source+flags digest) and load the C kernels."""
+    key = _C_SOURCE + "\n//" + " ".join(_CC_FLAGS)
+    digest = hashlib.sha256(key.encode()).hexdigest()[:16]
+    lib_path = Path(tempfile.gettempdir()) / f"repro_kernels_{digest}.so"
+    if not lib_path.exists():
+        compiler = _find_compiler()
+        if compiler is None:
+            return None
+        try:
+            with tempfile.TemporaryDirectory() as build_dir:
+                source = Path(build_dir) / "repro_kernels.c"
+                source.write_text(_C_SOURCE)
+                built = Path(build_dir) / "repro_kernels.so"
+                for flags in (_CC_FLAGS, _CC_FALLBACK_FLAGS):
+                    result = subprocess.run(
+                        [
+                            compiler,
+                            *flags,
+                            "-shared",
+                            "-fPIC",
+                            "-o",
+                            str(built),
+                            str(source),
+                        ],
+                        capture_output=True,
+                        timeout=120,
+                    )
+                    if result.returncode == 0:
+                        break
+                else:
+                    return None
+                # Atomic publish: concurrent processes compiling the
+                # same digest race benignly to an identical file.
+                os.replace(built, lib_path)
+        except (OSError, subprocess.SubprocessError):
+            return None
+    try:
+        lib = ctypes.CDLL(str(lib_path))
+    except OSError:
+        return None
+    lib.hamming_matrix.restype = None
+    lib.hamming_matrix.argtypes = [_U64_P, _LL, _U64_P, _LL, _LL_P]
+    lib.mih_query_batch.restype = _LL
+    lib.mih_query_batch.argtypes = [
+        _U64_P, _LL,                      # hashes, n
+        _LL_P, _LL_P, _LL_P,              # orders, lefts, rights
+        _U8_P, _LL_P,                     # ball_bytes, ball_starts
+        _LL, _LL, _LL,                    # qstart, qstop, radius
+        _LL_P,                            # cand scratch
+        _LL_P, _LL,                       # out, cap
+        _LL_P,                            # counts
+        ctypes.POINTER(_LL),              # out_len
+    ]
+    return lib
+
+
+def _load_numba_kernels() -> dict | None:  # pragma: no cover - needs numba
+    """JIT the Hamming matrix with numba when it is already installed.
+
+    The MIH batch stays on the ``cc``/numpy path under this tier — its
+    irregular gather/dedup loop gains little from nopython mode and a
+    lot from the C version, so numba covers only the dense kernel.
+    """
+    try:
+        import numba
+    except ImportError:
+        return None
+
+    @numba.njit(cache=False)
+    def matrix(a, b, out):
+        for i in range(a.size):
+            ai = a[i]
+            for j in range(b.size):
+                x = ai ^ b[j]
+                count = 0
+                while x:
+                    x &= x - np.uint64(1)
+                    count += 1
+                out[i, j] = count
+
+    try:  # trigger compilation now so failures demote the tier here
+        probe = np.zeros(1, dtype=np.uint64)
+        matrix(probe, probe, np.zeros((1, 1), dtype=np.int64))
+    except Exception:
+        return None
+    return {"matrix": matrix}
+
+
+def _resolve() -> dict:
+    """The active tier: ``{"tier": name, "lib": ..., "numba": ...}``."""
+    global _resolved
+    with _lock:
+        if _resolved is not None:
+            return _resolved
+        requested = os.environ.get(ENV_COMPILED, "").strip().lower()
+        state: dict = {"tier": "numpy", "lib": None, "numba": None}
+        if requested in _OFF_VALUES:
+            _resolved = state
+            return state
+        want_numba = requested in _AUTO_VALUES or requested == "numba"
+        want_cc = requested in _AUTO_VALUES or requested in ("cc", "native")
+        if requested not in _AUTO_VALUES and not (want_numba or want_cc):
+            warnings.warn(
+                f"ignoring malformed {ENV_COMPILED}={requested!r}; expected "
+                "0/1/auto/numba/cc; compiled tier stays off",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            _resolved = state
+            return state
+        if want_numba:
+            kernels = _load_numba_kernels()
+            if kernels is not None:
+                state["tier"] = "numba"
+                state["numba"] = kernels
+        if want_cc and state["tier"] == "numpy":
+            lib = _load_cc_library()
+            if lib is not None:
+                state["tier"] = "cc"
+                state["lib"] = lib
+        if state["tier"] == "numpy":
+            warnings.warn(
+                f"{ENV_COMPILED}={requested!r} requested a compiled tier "
+                "but neither numba nor a C compiler is usable; falling "
+                "back to the pure-numpy kernels (identical results)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        _resolved = state
+        return state
+
+
+def tier() -> str:
+    """The active implementation tier: ``"numba"``, ``"cc"``, or ``"numpy"``."""
+    return _resolve()["tier"]
+
+
+def enabled() -> bool:
+    """True when a compiled implementation is active."""
+    return tier() != "numpy"
+
+
+def kernel_variant(kernel: str) -> str:
+    """Cost-model kernel key for the active tier.
+
+    Compiled and numpy implementations have very different throughputs;
+    keying observations by tier keeps one tier's EWMA from steering the
+    other's dispatch.
+    """
+    active = tier()
+    return kernel if active == "numpy" else f"{kernel}+{active}"
+
+
+def hamming_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
+    """Compiled dense Hamming matrix, or ``None`` for the numpy path."""
+    state = _resolve()
+    if state["tier"] == "numpy":
+        return None
+    a = np.ascontiguousarray(a, dtype=np.uint64).reshape(-1)
+    b = np.ascontiguousarray(b, dtype=np.uint64).reshape(-1)
+    out = np.empty((a.size, b.size), dtype=np.int64)
+    if a.size == 0 or b.size == 0:
+        return out
+    if state["tier"] == "numba":  # pragma: no cover - needs numba
+        state["numba"]["matrix"](a, b, out)
+        return out
+    state["lib"].hamming_matrix(a, a.size, b, b.size, out.reshape(-1))
+    return out
+
+
+def mih_query_batch(
+    hashes: np.ndarray,
+    start: int,
+    stop: int,
+    radius: int,
+    balls: list[np.ndarray],
+) -> list[np.ndarray] | None:
+    """Compiled MIH self-join rows, or ``None`` for the numpy path.
+
+    ``balls[v]`` is the probe ball for byte value ``v`` (the
+    ``_bytes_within`` table the numpy kernel already builds — passed in
+    rather than imported to keep this module free of hashing imports).
+    Output is exactly the numpy kernel's: one sorted duplicate-free
+    ``int64`` position array per query in ``range(start, stop)``.
+    """
+    state = _resolve()
+    lib = state["lib"]
+    if lib is None:  # numpy tier, or numba (which has no MIH kernel)
+        return None
+    hashes = np.ascontiguousarray(hashes, dtype=np.uint64).reshape(-1)
+    n = int(hashes.size)
+    start, stop = int(start), int(stop)
+    n_queries = max(0, stop - start)
+    if n_queries == 0:
+        return []
+    # Per-chunk byte groups, identical to the numpy kernel's argsort +
+    # searchsorted tables.  Bytes come from shifts, which equal the
+    # little-endian view the numpy kernel uses on every platform this
+    # library targets (and match the C kernel's shifts on all of them).
+    orders = np.empty((8, n), dtype=np.int64)
+    lefts = np.empty((8, 256), dtype=np.int64)
+    rights = np.empty((8, 256), dtype=np.int64)
+    all_bytes = np.arange(256)
+    for c in range(8):
+        chunk = ((hashes >> np.uint64(8 * c)) & np.uint64(0xFF)).astype(
+            np.uint8
+        )
+        order = np.argsort(chunk, kind="stable").astype(np.int64)
+        orders[c] = order
+        sorted_bytes = chunk[order]
+        lefts[c] = np.searchsorted(sorted_bytes, all_bytes, side="left")
+        rights[c] = np.searchsorted(sorted_bytes, all_bytes, side="right")
+    ball_starts = np.zeros(257, dtype=np.int64)
+    ball_starts[1:] = np.cumsum([len(ball) for ball in balls])
+    ball_bytes = (
+        np.concatenate([np.asarray(ball, dtype=np.uint8) for ball in balls])
+        if int(ball_starts[-1])
+        else np.zeros(1, dtype=np.uint8)
+    )
+    # A position can be visited once per chunk whose byte lands in the
+    # probe ball, so the per-query match scratch needs 8n at worst.
+    cand = np.empty(8 * n, dtype=np.int64)
+    counts = np.empty(n_queries, dtype=np.int64)
+    # cap >= n guarantees progress: one query emits at most n positions.
+    cap = max(8 * n_queries + 1024, n)
+    flat_parts: list[np.ndarray] = []
+    cursor = start
+    while cursor < stop:
+        out = np.empty(cap, dtype=np.int64)
+        out_len = _LL(0)
+        done = int(
+            lib.mih_query_batch(
+                hashes, n,
+                orders.reshape(-1), lefts.reshape(-1), rights.reshape(-1),
+                ball_bytes, ball_starts,
+                cursor, stop, int(radius),
+                cand,
+                out, cap,
+                counts[cursor - start :],
+                ctypes.byref(out_len),
+            )
+        )
+        flat_parts.append(out[: out_len.value])
+        cursor = done
+        cap *= 2
+    flat = (
+        flat_parts[0] if len(flat_parts) == 1 else np.concatenate(flat_parts)
+    )
+    offsets = np.zeros(n_queries + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return [flat[offsets[i] : offsets[i + 1]] for i in range(n_queries)]

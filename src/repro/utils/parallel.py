@@ -99,9 +99,13 @@ dispatched-to-serial kernel runs the identical serial code path).
 
 from __future__ import annotations
 
+import atexit
 import json
+import math
 import os
+import platform
 import tempfile
+import threading
 import time
 import warnings
 from concurrent import futures as _futures
@@ -115,6 +119,7 @@ from repro.utils.retry import RetryPolicy, retry_call
 __all__ = [
     "BACKENDS",
     "ENV_BACKEND",
+    "ENV_TRANSPORT",
     "ENV_WORKERS",
     "ChaosDirective",
     "CostModel",
@@ -126,8 +131,13 @@ __all__ = [
     "ShardReport",
     "SupervisedResult",
     "SupervisionPolicy",
+    "TRANSPORTS",
+    "WorkerPool",
     "array_splitter",
+    "available_cpus",
     "effective_workers",
+    "get_worker_pool",
+    "host_fingerprint",
     "kernel_timer",
     "parallel_map",
     "parallel_starmap",
@@ -141,10 +151,39 @@ __all__ = [
 T = TypeVar("T")
 R = TypeVar("R")
 
-BACKENDS = ("auto", "serial", "thread", "process")
+BACKENDS = ("auto", "serial", "thread", "process", "process_shm")
+
+TRANSPORTS = ("pickle", "shm")
 
 ENV_WORKERS = "REPRO_WORKERS"
 ENV_BACKEND = "REPRO_PARALLEL_BACKEND"
+ENV_TRANSPORT = "REPRO_TRANSPORT"
+
+
+def _visible_cpus() -> int | None:
+    """Affinity-aware CPU count, or ``None`` when unknowable."""
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            affinity = len(getaffinity(0))
+            if affinity > 0:
+                return affinity
+        except OSError:
+            pass
+    return os.cpu_count()
+
+
+def available_cpus() -> int:
+    """CPUs this *process* may actually run on.
+
+    ``os.cpu_count()`` reports the machine's cores and ignores cgroup
+    and affinity limits — in a container pinned to 2 of 64 cores it
+    says 64, so worker clamping caps at 64 and dispatch happily picks
+    fan-outs that cannot win.  The scheduler affinity mask is the
+    truth on Linux; platforms without it fall back to the core count,
+    and a host where neither is knowable counts as 1.
+    """
+    return _visible_cpus() or 1
 
 
 def effective_workers(workers: int) -> int:
@@ -152,13 +191,16 @@ def effective_workers(workers: int) -> int:
 
     CPU-bound kernels (everything in this codebase) gain nothing from
     more workers than cores; process workers *lose* (extra pickling and
-    context switching for zero extra parallelism).
+    context switching for zero extra parallelism).  "Cores" means the
+    affinity-aware :func:`available_cpus`, not the raw machine count;
+    when neither source knows, the requested count stands.
     """
-    return max(1, min(int(workers), os.cpu_count() or int(workers)))
+    workers = int(workers)
+    return max(1, min(workers, _visible_cpus() or workers))
 
 
 def warn_if_oversubscribed(workers: int, *, source: str) -> int:
-    """Warn when a requested worker count exceeds ``os.cpu_count()``.
+    """Warn when a requested worker count exceeds :func:`available_cpus`.
 
     BENCH_parallel.json once recorded ``workers=4`` on a
     ``cpu_count=1`` host with sub-1x "speedups" and no signal of why;
@@ -166,7 +208,7 @@ def warn_if_oversubscribed(workers: int, *, source: str) -> int:
     configuration time.  Returns the effective (capped) worker count so
     callers can record it alongside the requested one.
     """
-    cpu = os.cpu_count()
+    cpu = _visible_cpus()
     if cpu is not None and workers > cpu:
         warnings.warn(
             f"{source} requests {workers} workers but this host has "
@@ -187,9 +229,18 @@ class ParallelConfig:
     workers:
         Worker count; 1 means serial execution (the default).
     backend:
-        ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"``
-        (serial when ``workers == 1``, otherwise process — the only
-        backend that sidesteps the GIL for pure-Python kernels).
+        ``"serial"``, ``"thread"``, ``"process"``, ``"process_shm"``,
+        or ``"auto"`` (serial when ``workers == 1``, otherwise process
+        — the only backend family that sidesteps the GIL for
+        pure-Python kernels).  ``"process_shm"`` is the process backend
+        on the zero-copy transport: shard inputs travel as
+        shared-memory descriptors through a persistent warm worker
+        pool instead of being pickled to a per-call pool.
+    transport:
+        ``"pickle"`` (the default: arguments pickled per task) or
+        ``"shm"``.  Selecting ``"shm"`` upgrades a resolved ``process``
+        backend to ``process_shm``; serial and thread execution ignore
+        it (they already share the caller's address space).
     chunk_size:
         Items per shard for :func:`shard_bounds`; ``None`` applies the
         heuristic (one large shard per process worker to amortise
@@ -229,6 +280,7 @@ class ParallelConfig:
     chaos: Callable[[str], "ChaosDirective | None"] | None = None
     cost_model: "CostModel | None" = None
     shards: object | None = None
+    transport: str = "pickle"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -239,17 +291,30 @@ class ParallelConfig:
             )
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; "
+                f"expected one of {TRANSPORTS}"
+            )
 
     def resolved_backend(self) -> str:
-        """The concrete backend after ``auto`` resolution."""
-        if self.backend != "auto":
-            return self.backend
-        return "serial" if self.workers <= 1 else "process"
+        """The concrete backend after ``auto``/transport resolution."""
+        backend = self.backend
+        if backend == "auto":
+            backend = "serial" if self.workers <= 1 else "process"
+        if backend == "process" and self.transport == "shm":
+            return "process_shm"
+        return backend
 
     @property
     def is_serial(self) -> bool:
         """True when execution degenerates to a plain loop."""
         return self.workers <= 1 or self.resolved_backend() == "serial"
+
+    @property
+    def uses_shm(self) -> bool:
+        """True when fan-out inputs should travel as shared memory."""
+        return self.resolved_backend() == "process_shm"
 
     def dispatched(self, kernel: str, units: int) -> "ParallelConfig":
         """The effective config for one kernel call of ``units`` work.
@@ -295,6 +360,15 @@ class ParallelConfig:
                 stacklevel=2,
             )
             backend = "auto"
+        transport = env.get(ENV_TRANSPORT, "") or "pickle"
+        if transport not in TRANSPORTS:
+            warnings.warn(
+                f"ignoring malformed {ENV_TRANSPORT}={transport!r}; "
+                f"expected one of {TRANSPORTS}; falling back to 'pickle'",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            transport = "pickle"
         workers = max(1, workers)
         if workers > 1:
             warn_if_oversubscribed(workers, source=ENV_WORKERS)
@@ -304,7 +378,12 @@ class ParallelConfig:
         from repro.index_cluster.placement import shard_config_from_env
 
         shards = shard_config_from_env(env)
-        return cls(workers=workers, backend=backend, shards=shards)
+        return cls(
+            workers=workers,
+            backend=backend,
+            shards=shards,
+            transport=transport,
+        )
 
 
 def resolve_parallel(parallel: ParallelConfig | None) -> ParallelConfig:
@@ -318,9 +397,11 @@ def shard_bounds(
     """Contiguous ``(start, stop)`` shards covering ``range(n_items)``.
 
     Chunk size follows the backend heuristic unless the config pins one:
-    process shards are worker-sized (each task ships a pickled numpy
-    shard, so fewer/larger is cheaper), thread and serial shards are a
-    quarter of that (finer grain smooths uneven per-item cost).
+    pickle-transport process shards are worker-sized (each task ships a
+    pickled numpy shard, so fewer/larger is cheaper); thread, serial,
+    and ``process_shm`` shards are a quarter of that (finer grain
+    smooths uneven per-item cost, and shared-memory tasks ship only a
+    descriptor, so extra shards cost nothing to transport).
     """
     if n_items <= 0:
         return []
@@ -336,14 +417,139 @@ def shard_bounds(
 
 
 # ----------------------------------------------------------------------
+# Warm worker pool (process_shm backend)
+# ----------------------------------------------------------------------
+
+
+class WorkerPool:
+    """A persistent process pool reused across fan-outs.
+
+    The pickle-transport process backend spawns a fresh
+    :class:`ProcessPoolExecutor` per fan-out — ~0.35 s of fork cost on
+    every call (the ``process`` entry in the cost model's default
+    overheads).  The ``process_shm`` backend instead checks its pool
+    out of this keeper, runs the fan-out, and checks it back in
+    *clean*: the next fan-out reuses the warm workers for near-zero
+    marginal overhead.
+
+    A *dirty* return (a shard hung, a worker died, the pool broke)
+    discards the pool without joining its workers — exactly the
+    shutdown discipline the supervised first wave already applies —
+    and the next checkout spawns a fresh one.  The supervision
+    ladder's retry rungs keep using fresh single-worker pools, so a
+    poisoned pool can never recycle into a rescue attempt.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._workers = 0
+        self.spawns = 0
+
+    @property
+    def warm(self) -> bool:
+        """True when a checked-in pool is ready for instant reuse."""
+        with self._lock:
+            return self._pool is not None
+
+    def acquire(self, workers: int) -> ProcessPoolExecutor:
+        """Check out a pool with at least ``workers`` workers."""
+        workers = max(1, int(workers))
+        with self._lock:
+            pool, self._pool = self._pool, None
+            if pool is not None and self._workers >= workers:
+                return pool
+        if pool is not None:
+            # Too small for this fan-out: replace rather than resize
+            # (executors cannot grow) — rare, since callers clamp to
+            # the same core count every time.
+            pool.shutdown(wait=False, cancel_futures=True)
+        fresh = ProcessPoolExecutor(max_workers=workers)
+        with self._lock:
+            self._workers = workers
+            self.spawns += 1
+        return fresh
+
+    def release(self, pool: ProcessPoolExecutor, *, dirty: bool) -> None:
+        """Check a pool back in; a dirty pool is discarded unjoined."""
+        if dirty:
+            pool.shutdown(wait=False, cancel_futures=True)
+            return
+        with self._lock:
+            if self._pool is None:
+                self._pool = pool
+                return
+        # Another thread already checked one in; keep theirs.
+        pool.shutdown(wait=True)
+
+    def discard(self) -> None:
+        """Drop any checked-in pool (test isolation, interpreter exit)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+_WORKER_POOL = WorkerPool()
+
+
+def get_worker_pool() -> WorkerPool:
+    """The process-wide warm pool behind the ``process_shm`` backend."""
+    return _WORKER_POOL
+
+
+@atexit.register
+def _shutdown_worker_pool() -> None:  # pragma: no cover - exit path
+    _WORKER_POOL.discard()
+
+
+# ----------------------------------------------------------------------
 # Cost-model dispatch
 # ----------------------------------------------------------------------
 
 # Fallback pool spawn+roundtrip cost when a backend was never measured
 # on this host.  Process pools fork an interpreter per worker; thread
 # pools are near-free.  Real measurements (calibrate_overhead) replace
-# these.
-_DEFAULT_POOL_OVERHEAD_S = {"thread": 0.005, "process": 0.35}
+# these.  ``process_shm`` pays the fork exactly once per run — after
+# the warm pool exists its marginal overhead is a task submission.
+_DEFAULT_POOL_OVERHEAD_S = {"thread": 0.005, "process": 0.35, "process_shm": 0.35}
+
+# Marginal process_shm overhead once the warm pool is up: submit +
+# descriptor pickle + attach-cached resolve, no fork, no array copy.
+_WARM_POOL_OVERHEAD_S = 0.002
+
+
+def host_fingerprint() -> dict:
+    """Identity of the hardware/runtime a calibration was measured on.
+
+    Persisted into ``cost_model.json`` and checked on load: throughput
+    and pool-overhead numbers from a different machine (a 1-core CI
+    runner writing into a shared cache dir, say) must never drive
+    dispatch here.
+    """
+    return {
+        "cpu_count": available_cpus(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def _positive_finite(value) -> float | None:
+    """``value`` as a strictly positive finite float, else ``None``.
+
+    The validation gate for every rate/overhead entering the model: a
+    ``0.0`` rate divides by zero in ``estimate()``, a negative one
+    inverts every comparison, and NaN/inf poison ``choose()``'s ``min``
+    silently — so bad values are dropped at the door, whether they come
+    from a corrupt ``cost_model.json`` or a pathological observation.
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return None
+    if not math.isfinite(value) or value <= 0.0:
+        return None
+    return value
 
 
 def _noop() -> None:
@@ -387,9 +593,10 @@ class CostModel:
             raise ValueError("ewma must be in (0, 1]")
         self.path = Path(path) if path is not None else None
         self.cpu_count = (
-            int(cpu_count) if cpu_count is not None else (os.cpu_count() or 1)
+            int(cpu_count) if cpu_count is not None else available_cpus()
         )
         self.ewma = ewma
+        self.host = host_fingerprint()
         self.rates: dict[str, dict[str, float]] = {}
         self.overheads: dict[str, float] = {}
         if self.path is not None and self.path.exists():
@@ -400,17 +607,29 @@ class CostModel:
     def observe(
         self, kernel: str, backend: str, units: int, seconds: float
     ) -> None:
-        """Record one observed run of ``kernel`` on ``backend``."""
-        if units <= 0 or seconds <= 0:
+        """Record one observed run of ``kernel`` on ``backend``.
+
+        Observations that would poison the model (non-positive or
+        non-finite inputs, or a blended rate that leaves the positive
+        finite range) are dropped — same gate as :meth:`load`.
+        """
+        if _positive_finite(units) is None or _positive_finite(seconds) is None:
             return
-        rate = units / seconds
+        rate = _positive_finite(units / seconds)
+        if rate is None:
+            return
         slot = self.rates.setdefault(kernel, {})
         previous = slot.get(backend)
-        slot[backend] = (
+        blended = (
             rate
             if previous is None
             else (1.0 - self.ewma) * previous + self.ewma * rate
         )
+        blended = _positive_finite(blended)
+        if blended is None:
+            slot.pop(backend, None)
+            return
+        slot[backend] = blended
 
     def calibrate(self, kernel: str, fn: Callable[[], object], units: int):
         """Time one serial run of ``fn`` as the kernel's serial rate."""
@@ -420,9 +639,29 @@ class CostModel:
         return value
 
     def calibrate_overhead(self, backend: str, *, workers: int = 2) -> float:
-        """Measure pool spawn + no-op roundtrip cost for ``backend``."""
-        if backend not in ("thread", "process"):
+        """Measure pool spawn + no-op roundtrip cost for ``backend``.
+
+        For ``process_shm`` the measured quantity is the *marginal*
+        cost — a no-op roundtrip through the warm pool (spawning it
+        first if needed, so the fork is paid here rather than billed
+        to every later estimate).
+        """
+        if backend not in ("thread", "process", "process_shm"):
             raise ValueError(f"no pool overhead for backend {backend!r}")
+        if backend == "process_shm":
+            keeper = get_worker_pool()
+            pool = keeper.acquire(workers)
+            try:
+                pool.submit(_noop).result()  # ensure workers are up
+                started = time.perf_counter()
+                pool.submit(_noop).result()
+                elapsed = time.perf_counter() - started
+            except BaseException:
+                keeper.release(pool, dirty=True)
+                raise
+            keeper.release(pool, dirty=False)
+            self.overheads[backend] = elapsed
+            return elapsed
         pool_cls = (
             ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
         )
@@ -434,8 +673,16 @@ class CostModel:
         return elapsed
 
     def pool_overhead(self, backend: str) -> float:
+        if backend == "process_shm" and not get_worker_pool().warm:
+            # Cold: the first fan-out pays the fork like plain process.
+            return self.overheads.get(
+                "process", _DEFAULT_POOL_OVERHEAD_S["process_shm"]
+            )
         return self.overheads.get(
-            backend, _DEFAULT_POOL_OVERHEAD_S.get(backend, 0.1)
+            backend,
+            _WARM_POOL_OVERHEAD_S
+            if backend == "process_shm"
+            else _DEFAULT_POOL_OVERHEAD_S.get(backend, 0.1),
         )
 
     # -- estimation and dispatch ---------------------------------------
@@ -477,7 +724,16 @@ class CostModel:
                 return parallel
             return replace(parallel, workers=workers)
         estimates["serial"] = serial_estimate
-        for backend in ("thread", "process"):
+        # The shm transport replaces plain process fan-out rather than
+        # competing with it, and a pickle-transport caller never gets
+        # silently upgraded to shared memory — the candidate set tracks
+        # the operator's transport choice.
+        shm = (
+            parallel.transport == "shm"
+            or parallel.backend == "process_shm"
+        )
+        candidates = ("thread", "process_shm") if shm else ("thread", "process")
+        for backend in candidates:
             estimate = self.estimate(kernel, backend, units, workers)
             if estimate is not None:
                 estimates[backend] = estimate
@@ -491,8 +747,9 @@ class CostModel:
 
     def to_json(self) -> dict:
         return {
-            "version": 1,
+            "version": 2,
             "cpu_count": self.cpu_count,
+            "host": dict(self.host),
             "rates": {k: dict(v) for k, v in self.rates.items()},
             "overheads": dict(self.overheads),
         }
@@ -531,20 +788,42 @@ class CostModel:
 
     def load(self, path: str | Path) -> None:
         """Merge persisted calibration; malformed files are ignored
-        (stale calibration only costs a re-observation, never an error)."""
+        (stale calibration only costs a re-observation, never an error).
+
+        Two gates apply before anything merges:
+
+        * **host check** — a file stamped with a different (or missing)
+          :func:`host_fingerprint` is discarded whole: its numbers were
+          measured on other hardware and would misdirect dispatch here;
+        * **value check** — individual rate/overhead entries that are
+          not strictly positive finite numbers are dropped, so a corrupt
+          or hand-edited file can never feed ``estimate()`` a zero
+          divisor or ``choose()`` a NaN.
+        """
         try:
             data = json.loads(Path(path).read_text())
+            if not isinstance(data, dict):
+                return
+            if data.get("host") != self.host:
+                return
             rates = data.get("rates", {})
             overheads = data.get("overheads", {})
             if not isinstance(rates, dict) or not isinstance(overheads, dict):
                 return
             for kernel, slot in rates.items():
-                if isinstance(slot, dict):
-                    self.rates[str(kernel)] = {
-                        str(b): float(r) for b, r in slot.items()
-                    }
+                if not isinstance(slot, dict):
+                    continue
+                clean = {}
+                for backend, rate in slot.items():
+                    rate = _positive_finite(rate)
+                    if rate is not None:
+                        clean[str(backend)] = rate
+                if clean:
+                    self.rates.setdefault(str(kernel), {}).update(clean)
             for backend, overhead in overheads.items():
-                self.overheads[str(backend)] = float(overhead)
+                overhead = _positive_finite(overhead)
+                if overhead is not None:
+                    self.overheads[str(backend)] = overhead
         except (OSError, ValueError, TypeError):
             return
 
@@ -911,6 +1190,20 @@ class Executor:
         workers = min(self.parallel.workers, len(calls))
         if backend == "serial" or workers <= 1:
             return [fn(*args) for args in calls]
+        if backend == "process_shm":
+            keeper = get_worker_pool()
+            pool = keeper.acquire(workers)
+            clean = False
+            try:
+                futures = [pool.submit(fn, *args) for args in calls]
+                values = [future.result() for future in futures]
+                clean = True
+                return values
+            finally:
+                # Any exception (including a worker's, re-raised here)
+                # may leave queued work behind; discard rather than
+                # recycle a pool with unknown in-flight state.
+                keeper.release(pool, dirty=not clean)
         pool_cls = (
             ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
         )
@@ -1079,13 +1372,22 @@ class Executor:
         The shared pool is shut down without waiting when a shard hung
         or the pool broke (a ``with`` block would join the hung worker
         and stall the parent — the exact pathology supervision exists
-        to prevent).
+        to prevent).  On the ``process_shm`` backend the pool comes
+        from (and, when clean, returns to) the warm :class:`WorkerPool`
+        keeper instead of being spawned per fan-out; a dirty pool is
+        discarded there under the same no-join discipline.
         """
         backend = self.parallel.resolved_backend()
-        pool_cls = (
-            ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
-        )
-        pool = pool_cls(max_workers=workers)
+        keeper = get_worker_pool() if backend == "process_shm" else None
+        if keeper is not None:
+            pool = keeper.acquire(workers)
+        else:
+            pool_cls = (
+                ThreadPoolExecutor
+                if backend == "thread"
+                else ProcessPoolExecutor
+            )
+            pool = pool_cls(max_workers=workers)
         dirty = False  # hung or broken: don't join workers on shutdown
         try:
             futures: list[_futures.Future | None] = [None] * len(calls)
@@ -1149,13 +1451,19 @@ class Executor:
                 finally:
                     shard.duration_s += time.perf_counter() - started
         finally:
-            pool.shutdown(wait=not dirty, cancel_futures=True)
+            if keeper is not None:
+                keeper.release(pool, dirty=dirty)
+            else:
+                pool.shutdown(wait=not dirty, cancel_futures=True)
 
     @staticmethod
     def _submit(pool, fn, args, directive, backend) -> _futures.Future:
         if directive is None:
             return pool.submit(fn, *args)
-        if directive.action == "kill" and backend != "process":
+        if directive.action == "kill" and backend not in (
+            "process",
+            "process_shm",
+        ):
             return pool.submit(_simulated_death, fn, args)
         return pool.submit(
             _chaos_call, fn, args, directive.action, directive.delay_s

@@ -1,0 +1,407 @@
+"""Zero-copy shard transport over POSIX shared memory.
+
+The parallel layer's process backend historically pickled every shard's
+input arrays to every worker on every call — BENCH_parallel.json showed
+the flagship 50k ``radius_neighbors_mih`` fan-out *losing* to serial
+(0.87x) purely on transport.  This module replaces the pickle with a
+publish-once/attach-many protocol:
+
+* The parent :meth:`SharedArrayRegistry.publish`\\ es an input array
+  into a :class:`multiprocessing.shared_memory.SharedMemory` segment —
+  one memcpy, total, regardless of worker or shard count.
+* Workers receive a tiny picklable :class:`ShmArrayRef` descriptor
+  (segment name, dtype, shape, window bounds) and
+  :func:`resolve_array` it back into a **read-only** numpy view over
+  the mapped segment — no copy, no unpickle.
+* Refs are sliceable (``ref[start:stop]`` narrows the window), so call
+  sites shard a published array with the same expressions they use on
+  the array itself, and the supervision ladder's bisection splitters
+  (:func:`repro.utils.parallel.array_splitter`) work unchanged.
+
+**Lifecycle guarantees.**  Segments are owned by the publishing
+process:
+
+* explicit :meth:`~SharedArrayRegistry.release` closes and unlinks
+  (idempotent — double release and double unlink are safe no-ops);
+* a ``weakref.finalize`` on the registry plus an ``atexit`` hook
+  release everything still published at interpreter exit, guarded by
+  the owner PID so a forked child can never unlink its parent's
+  segments;
+* :func:`sweep_stale_segments` reclaims segments whose owner died
+  without cleanup (SIGKILL, ``os._exit``): names embed the owner PID
+  (``repro_shm_<pid>_<seq>_<token>``), and the sweep unlinks any whose
+  owner no longer exists.  It runs automatically on first registry use
+  in each process.
+* the parent resolves its own refs from the *original* arrays (never
+  through the shm mapping), so the supervision ladder's serial
+  fallback works even if a segment has already been unlinked — and a
+  quarantine-after-release race cannot poison results.
+
+**Worker-side notes.**  Attaching a segment registers it with
+multiprocessing's resource tracker (CPython issue bpo-38119).  Pool
+workers inherit the *owner's* tracker process, whose name cache is a
+set — the attach-side register simply deduplicates into the owner's
+create-side entry, and the owner's eventual unlink balances it.  Only
+a process with its *own* tracker (not started by multiprocessing)
+must unregister the attachment, or its tracker would unlink the
+segment at exit and destroy it for everyone; :func:`_attach` detects
+which case it is in.  Attached mappings are cached per process and
+closed at worker exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import secrets
+import threading
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = [
+    "ShmArrayRef",
+    "SharedArrayRegistry",
+    "get_registry",
+    "resolve_array",
+    "shared_inputs",
+    "sweep_stale_segments",
+]
+
+_SEGMENT_PREFIX = "repro_shm"
+
+# Linux exposes POSIX shared memory as files here; the stale sweep scans
+# it.  On platforms without it the sweep is a no-op (segments are still
+# released by finalizers on clean exit).
+_SHM_DIR = "/dev/shm"
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """A picklable window onto a published 1-D shared-memory array.
+
+    ``segment`` names the shared-memory block, ``dtype``/``size``
+    describe the full published array, and ``start``/``stop`` bound the
+    window this ref exposes.  Slicing a ref narrows the window without
+    touching the segment, so shard bounds compose: ``ref[a:b][c:d]``
+    equals ``ref[a+c:a+d]``.
+    """
+
+    segment: str
+    dtype: str
+    size: int
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return max(0, self.stop - self.start)
+
+    def __getitem__(self, key: slice) -> "ShmArrayRef":
+        if not isinstance(key, slice) or key.step not in (None, 1):
+            raise TypeError(
+                "ShmArrayRef supports contiguous slices only "
+                f"(got {key!r})"
+            )
+        start, stop, _ = key.indices(len(self))
+        return replace(
+            self, start=self.start + start, stop=self.start + stop
+        )
+
+
+def _segment_owner_pid(name: str) -> int | None:
+    """The owner PID embedded in one of our segment names, or ``None``."""
+    if not name.startswith(_SEGMENT_PREFIX + "_"):
+        return None
+    parts = name.split("_")
+    try:
+        return int(parts[2])
+    except (IndexError, ValueError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return True
+    return True
+
+
+def _unlink_quietly(shm: shared_memory.SharedMemory) -> None:
+    """Unlink a segment, tolerating a prior unlink (idempotent)."""
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def sweep_stale_segments() -> int:
+    """Unlink segments whose owning process died without cleanup.
+
+    Returns the number of segments reclaimed.  Only touches segments
+    carrying this module's name prefix; a PID that cannot be parsed or
+    probed leaves the segment alone (never delete what we cannot
+    attribute).
+    """
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:
+        return 0
+    reclaimed = 0
+    for name in names:
+        pid = _segment_owner_pid(name)
+        if pid is None or pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+            reclaimed += 1
+        except OSError:
+            continue
+    return reclaimed
+
+
+def _release_owned(segments: dict, owner_pid: int) -> None:
+    """Finalizer body: close+unlink every still-published segment.
+
+    PID-guarded: a forked child inherits the registry (and this
+    finalizer) but must never unlink segments its parent still serves.
+    """
+    if os.getpid() != owner_pid:
+        return
+    for shm in list(segments.values()):
+        try:
+            shm.close()
+        except OSError:
+            pass
+        _unlink_quietly(shm)
+    segments.clear()
+
+
+class SharedArrayRegistry:
+    """Owner-side ledger of published segments + process-wide attach cache.
+
+    One instance per process (see :func:`get_registry`).  The publish
+    side runs in the parent; the resolve side runs everywhere — in the
+    parent it short-circuits to the original array (``_local``), in a
+    worker it attaches the segment once and caches the mapping.
+    """
+
+    def __init__(self) -> None:
+        self._owner_pid = os.getpid()
+        self._lock = threading.Lock()
+        self._counter = 0
+        # name -> SharedMemory we created (owner side).
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        # name -> the original published array (owner-side resolution:
+        # the serial fallback never touches the shm mapping).
+        self._local: dict[str, np.ndarray] = {}
+        # name -> (SharedMemory, read-only view) attached in THIS
+        # process (worker side).
+        self._attached: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+        self._finalizer = weakref.finalize(
+            self, _release_owned, self._segments, self._owner_pid
+        )
+        sweep_stale_segments()
+
+    # -- owner side ----------------------------------------------------
+
+    def publish(self, array: np.ndarray) -> ShmArrayRef:
+        """Copy a 1-D array into a fresh segment; return its ref.
+
+        The single memcpy here replaces one pickled copy *per shard per
+        fan-out* on the pickle transport.  The original array is kept
+        for owner-side resolution; the caller releases the ref (or
+        leans on the exit finalizer).
+        """
+        array = np.ascontiguousarray(array).reshape(-1)
+        with self._lock:
+            self._counter += 1
+            name = (
+                f"{_SEGMENT_PREFIX}_{self._owner_pid}_{self._counter}_"
+                f"{secrets.token_hex(4)}"
+            )
+        nbytes = max(1, array.nbytes)  # zero-length arrays still need a block
+        shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        if array.nbytes:
+            np.ndarray(
+                array.shape, dtype=array.dtype, buffer=shm.buf
+            )[:] = array
+        with self._lock:
+            self._segments[name] = shm
+            self._local[name] = array
+        return ShmArrayRef(
+            segment=name,
+            dtype=np.dtype(array.dtype).str,
+            size=int(array.size),
+            start=0,
+            stop=int(array.size),
+        )
+
+    def release(self, ref: ShmArrayRef | None) -> None:
+        """Close and unlink a published segment (idempotent)."""
+        if ref is None:
+            return
+        with self._lock:
+            shm = self._segments.pop(ref.segment, None)
+            self._local.pop(ref.segment, None)
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except OSError:
+            pass
+        _unlink_quietly(shm)
+
+    def release_all(self) -> None:
+        """Release every segment this process published."""
+        with self._lock:
+            names = list(self._segments)
+        for name in names:
+            self.release(
+                ShmArrayRef(segment=name, dtype="", size=0, start=0, stop=0)
+            )
+
+    @property
+    def published_count(self) -> int:
+        return len(self._segments)
+
+    # -- resolve side --------------------------------------------------
+
+    def resolve(self, ref: ShmArrayRef) -> np.ndarray:
+        """The array window a ref describes.
+
+        Owner process: a slice of the original array — by construction
+        the serial-fallback path never maps shared memory.  Any other
+        process: a read-only view over the attached segment (attached
+        once, cached).
+        """
+        local = self._local.get(ref.segment)
+        if local is not None:
+            return local[ref.start : ref.stop]
+        view = self._attach(ref)
+        return view[ref.start : ref.stop]
+
+    def _attach(self, ref: ShmArrayRef) -> np.ndarray:
+        with self._lock:
+            entry = self._attached.get(ref.segment)
+        if entry is not None:
+            return entry[1]
+        shm = shared_memory.SharedMemory(name=ref.segment)
+        # Keep the owner solely responsible for the unlink (bpo-38119).
+        # Pool workers share the owner's tracker process, where the
+        # attach-side register deduplicates into the owner's entry —
+        # unregistering would strip that entry and the owner's unlink
+        # would go unaccounted.  Only a standalone attacher (own
+        # tracker) must unregister, or its tracker unlinks the segment
+        # when it exits, destroying it for everyone.
+        if multiprocessing.parent_process() is None:
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        view = np.ndarray((ref.size,), dtype=np.dtype(ref.dtype), buffer=shm.buf)
+        view.flags.writeable = False
+        with self._lock:
+            self._attached[ref.segment] = (shm, view)
+        return view
+
+    def close_attachments(self) -> None:
+        """Drop this process's attach cache (worker shutdown path)."""
+        with self._lock:
+            attached = list(self._attached.values())
+            self._attached.clear()
+        for shm, _view in attached:
+            try:
+                shm.close()
+            except (OSError, BufferError):
+                pass
+
+
+_REGISTRY: SharedArrayRegistry | None = None
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_registry() -> SharedArrayRegistry:
+    """The per-process registry (created on first use).
+
+    A forked worker inherits the parent's instance object but must not
+    act as owner for the parent's segments — ``_release_owned`` is PID
+    guarded, and resolution through the inherited ``_local`` map is
+    harmless (the inherited pages hold the same bytes).  A *spawned*
+    worker starts empty and attaches.
+    """
+    global _REGISTRY
+    with _REGISTRY_LOCK:
+        if _REGISTRY is None:
+            _REGISTRY = SharedArrayRegistry()
+        return _REGISTRY
+
+
+@atexit.register
+def _atexit_cleanup() -> None:  # pragma: no cover - exercised at exit
+    registry = _REGISTRY
+    if registry is None:
+        return
+    if os.getpid() == registry._owner_pid:
+        registry.release_all()
+    registry.close_attachments()
+
+
+def resolve_array(
+    value: np.ndarray | ShmArrayRef, dtype=None
+) -> np.ndarray:
+    """A kernel-side argument as a contiguous array.
+
+    Shard kernels call this on every array argument so one signature
+    serves both transports: a plain array (pickle transport, serial
+    path) passes through ``ascontiguousarray``; a :class:`ShmArrayRef`
+    resolves through the registry.  ``dtype`` asserts the expected
+    element type — a ref published with a different dtype is a caller
+    bug worth failing loudly on, not silently casting shared bytes.
+    """
+    if isinstance(value, ShmArrayRef):
+        if dtype is not None and np.dtype(value.dtype) != np.dtype(dtype):
+            raise TypeError(
+                f"shared array {value.segment} holds {value.dtype}, "
+                f"kernel expects {np.dtype(dtype).str}"
+            )
+        return get_registry().resolve(value)
+    if dtype is not None:
+        return np.ascontiguousarray(value, dtype=dtype).reshape(-1)
+    return np.ascontiguousarray(value).reshape(-1)
+
+
+@contextmanager
+def shared_inputs(parallel, *arrays: np.ndarray):
+    """Publish fan-out inputs for the shm transport, or pass them through.
+
+    Call sites wrap their kernel inputs::
+
+        with shared_inputs(parallel, hashes) as (hashes_src,):
+            ... shard hashes_src exactly like the array ...
+
+    When ``parallel`` resolves to the ``process_shm`` backend each
+    array is published once and the refs are yielded; every other
+    backend yields the arrays untouched (zero overhead, bit-identical
+    call shape).  Published segments are released when the block exits
+    — including on error — so a fan-out can never leak its inputs.
+    """
+    uses_shm = getattr(parallel, "uses_shm", False)
+    if not uses_shm:
+        yield tuple(arrays)
+        return
+    registry = get_registry()
+    refs = [registry.publish(array) for array in arrays]
+    try:
+        yield tuple(refs)
+    finally:
+        for ref in refs:
+            registry.release(ref)

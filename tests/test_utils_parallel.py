@@ -119,9 +119,17 @@ class TestEnvResolution:
     def test_wellformed_env_does_not_warn(self, monkeypatch):
         import repro.utils.parallel as mod
 
-        # Pin cpu_count above the requested workers: this test is about
-        # malformed-value warnings, not the oversubscription warning.
+        # Pin the visible CPUs above the requested workers: this test is
+        # about malformed-value warnings, not the oversubscription
+        # warning.  available_cpus() prefers the affinity mask, so both
+        # sources are pinned.
         monkeypatch.setattr(mod.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(
+            mod.os,
+            "sched_getaffinity",
+            lambda pid: set(range(8)),
+            raising=False,
+        )
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             config = ParallelConfig.from_env(
@@ -560,40 +568,71 @@ def _wide_shard_fails(start, stop):
     return list(range(start, stop))
 
 
+def _pin_cpus(monkeypatch, n: int | None) -> None:
+    """Pin both CPU sources available_cpus() consults."""
+    import repro.utils.parallel as mod
+
+    monkeypatch.setattr(mod.os, "cpu_count", lambda: n)
+    if n is None:
+        monkeypatch.delattr(mod.os, "sched_getaffinity", raising=False)
+    else:
+        monkeypatch.setattr(
+            mod.os,
+            "sched_getaffinity",
+            lambda pid: set(range(n)),
+            raising=False,
+        )
+
+
 class TestWorkerBudget:
     def test_effective_workers_caps_at_cpu_count(self, monkeypatch):
-        import repro.utils.parallel as mod
-
-        monkeypatch.setattr(mod.os, "cpu_count", lambda: 2)
+        _pin_cpus(monkeypatch, 2)
         assert effective_workers(8) == 2
         assert effective_workers(1) == 1
         assert effective_workers(2) == 2
 
     def test_effective_workers_unknown_cpu_count(self, monkeypatch):
-        import repro.utils.parallel as mod
-
-        monkeypatch.setattr(mod.os, "cpu_count", lambda: None)
+        _pin_cpus(monkeypatch, None)
         assert effective_workers(6) == 6
 
-    def test_oversubscription_warns_and_caps(self, monkeypatch):
+    def test_affinity_mask_overrides_cpu_count(self, monkeypatch):
+        # A container pinned to 2 of 64 cores: os.cpu_count() still says
+        # 64, but the scheduler will only ever run 2 workers at once —
+        # clamping must follow the affinity mask.
         import repro.utils.parallel as mod
 
-        monkeypatch.setattr(mod.os, "cpu_count", lambda: 2)
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(
+            mod.os, "sched_getaffinity", lambda pid: {3, 17}, raising=False
+        )
+        assert mod.available_cpus() == 2
+        assert effective_workers(8) == 2
+        with pytest.warns(RuntimeWarning, match="2 CPU"):
+            assert warn_if_oversubscribed(8, source="--workers") == 2
+
+    def test_affinity_failure_falls_back_to_cpu_count(self, monkeypatch):
+        import repro.utils.parallel as mod
+
+        def boom(pid):
+            raise OSError("no affinity on this platform")
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(mod.os, "sched_getaffinity", boom, raising=False)
+        assert mod.available_cpus() == 4
+
+    def test_oversubscription_warns_and_caps(self, monkeypatch):
+        _pin_cpus(monkeypatch, 2)
         with pytest.warns(RuntimeWarning, match="2 CPU"):
             assert warn_if_oversubscribed(8, source="--workers") == 2
 
     def test_within_budget_is_silent(self, monkeypatch):
-        import repro.utils.parallel as mod
-
-        monkeypatch.setattr(mod.os, "cpu_count", lambda: 4)
+        _pin_cpus(monkeypatch, 4)
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert warn_if_oversubscribed(4, source="--workers") == 4
 
     def test_from_env_warns_on_oversubscription(self, monkeypatch):
-        import repro.utils.parallel as mod
-
-        monkeypatch.setattr(mod.os, "cpu_count", lambda: 1)
+        _pin_cpus(monkeypatch, 1)
         with pytest.warns(RuntimeWarning, match=ENV_WORKERS):
             config = ParallelConfig.from_env({ENV_WORKERS: "8"})
         assert config.workers == 8  # requested count preserved, only warned
@@ -814,3 +853,263 @@ class TestCostModelSaveAtomicity:
         with pytest.raises(OSError):
             model.save()
         assert list(tmp_path.iterdir()) == []
+
+
+class TestCostModelValidation:
+    """Regression: load() accepted any float(rate) — a persisted 0.0,
+    NaN, inf, or negative rate then divided by zero or poisoned
+    choose()'s min silently."""
+
+    def _write(self, path, data):
+        import json as json_mod
+
+        from repro.utils.parallel import host_fingerprint
+
+        payload = {
+            "version": 2,
+            "cpu_count": 2,
+            "host": host_fingerprint(),
+            "rates": {},
+            "overheads": {},
+        }
+        payload.update(data)
+        path.write_text(json_mod.dumps(payload))
+
+    def test_load_drops_degenerate_rates_keeps_good_ones(self, tmp_path):
+        path = tmp_path / "cost_model.json"
+        self._write(
+            path,
+            {
+                "rates": {
+                    "k": {
+                        "serial": 0.0,
+                        "thread": float("nan"),
+                        "process": float("inf"),
+                        "process_shm": -12.5,
+                    },
+                    "good": {"serial": 1234.5, "thread": "oops"},
+                }
+            },
+        )
+        model = CostModel(path, cpu_count=2)
+        assert "k" not in model.rates
+        assert model.rates["good"] == {"serial": pytest.approx(1234.5)}
+
+    def test_load_drops_degenerate_overheads(self, tmp_path):
+        path = tmp_path / "cost_model.json"
+        self._write(
+            path,
+            {"overheads": {"process": 0.0, "thread": 0.004, "shm": None}},
+        )
+        model = CostModel(path, cpu_count=2)
+        assert "process" not in model.overheads
+        assert model.overheads["thread"] == pytest.approx(0.004)
+
+    def test_degenerate_rate_never_reaches_estimate(self, tmp_path):
+        path = tmp_path / "cost_model.json"
+        self._write(path, {"rates": {"k": {"serial": 0.0}}})
+        model = CostModel(path, cpu_count=2)
+        # The old behaviour raised ZeroDivisionError here.
+        assert model.estimate("k", "serial", 1000, 1) is None
+        chosen = model.choose(
+            "k", 1000, ParallelConfig(workers=2, backend="thread")
+        )
+        assert chosen.workers == 2  # uncalibrated path: requested, capped
+
+    def test_observe_rejects_nonfinite_inputs(self):
+        model = CostModel(cpu_count=2)
+        model.observe("k", "serial", units=float("nan"), seconds=1.0)
+        model.observe("k", "serial", units=100, seconds=float("inf"))
+        model.observe("k", "serial", units=-5, seconds=1.0)
+        model.observe("k", "serial", units=100, seconds=-1.0)
+        assert "k" not in model.rates
+
+
+class TestCostModelHostFingerprint:
+    """Regression: persisted calibration was host-blind — numbers from
+    a different machine (shared cache dir, CI artefact) silently drove
+    dispatch on this one."""
+
+    def test_save_stamps_host_fingerprint(self, tmp_path):
+        import json as json_mod
+
+        from repro.utils.parallel import host_fingerprint
+
+        path = tmp_path / "cost_model.json"
+        model = CostModel(path, cpu_count=2)
+        model.observe("k", "serial", units=100, seconds=1.0)
+        model.save()
+        state = json_mod.loads(path.read_text())
+        assert state["host"] == host_fingerprint()
+        assert state["version"] == 2
+
+    def test_foreign_host_calibration_discarded_whole(self, tmp_path):
+        import json as json_mod
+
+        from repro.utils.parallel import host_fingerprint
+
+        path = tmp_path / "cost_model.json"
+        foreign = dict(host_fingerprint())
+        foreign["cpu_count"] = (foreign["cpu_count"] or 1) + 63
+        path.write_text(
+            json_mod.dumps(
+                {
+                    "version": 2,
+                    "host": foreign,
+                    "rates": {"k": {"serial": 999.0}},
+                    "overheads": {"process": 0.5},
+                }
+            )
+        )
+        model = CostModel(path, cpu_count=2)
+        assert model.rates == {}
+        assert model.overheads == {}
+
+    def test_legacy_file_without_host_discarded(self, tmp_path):
+        import json as json_mod
+
+        path = tmp_path / "cost_model.json"
+        path.write_text(
+            json_mod.dumps(
+                {"version": 1, "rates": {"k": {"serial": 999.0}}}
+            )
+        )
+        model = CostModel(path, cpu_count=2)
+        assert model.rates == {}
+
+    def test_same_host_roundtrip_still_merges(self, tmp_path):
+        path = tmp_path / "cost_model.json"
+        model = CostModel(path, cpu_count=2)
+        model.observe("k", "serial", units=100, seconds=1.0)
+        model.save()
+        reloaded = CostModel(path, cpu_count=2)
+        assert reloaded.rates["k"]["serial"] == pytest.approx(100.0)
+
+
+class TestShmTransportConfig:
+    def test_transport_validation(self):
+        with pytest.raises(ValueError, match="transport"):
+            ParallelConfig(transport="carrier-pigeon")
+
+    def test_shm_upgrades_process_backends(self):
+        config = ParallelConfig(workers=2, backend="process", transport="shm")
+        assert config.resolved_backend() == "process_shm"
+        assert config.uses_shm
+        auto = ParallelConfig(workers=2, backend="auto", transport="shm")
+        assert auto.resolved_backend() == "process_shm"
+
+    def test_shm_never_touches_thread_or_serial(self):
+        assert not ParallelConfig(transport="shm").uses_shm  # serial
+        thread = ParallelConfig(workers=2, backend="thread", transport="shm")
+        assert thread.resolved_backend() == "thread"
+        assert not thread.uses_shm
+
+    def test_env_transport_parsed(self, monkeypatch):
+        from repro.utils.parallel import ENV_TRANSPORT
+
+        monkeypatch.setenv(ENV_WORKERS, "2")
+        monkeypatch.setenv(ENV_TRANSPORT, "shm")
+        config = ParallelConfig.from_env()
+        assert config.transport == "shm"
+        assert config.resolved_backend() == "process_shm"
+
+    def test_malformed_env_transport_warns_and_defaults(self, monkeypatch):
+        from repro.utils.parallel import ENV_TRANSPORT
+
+        monkeypatch.setenv(ENV_TRANSPORT, "smoke-signals")
+        with pytest.warns(RuntimeWarning, match=ENV_TRANSPORT):
+            config = ParallelConfig.from_env()
+        assert config.transport == "pickle"
+
+    def test_choose_candidates_track_transport(self):
+        model = CostModel(cpu_count=4)
+        model.observe("k", "serial", units=1_000, seconds=1.0)
+        model.observe("k", "process", units=100_000, seconds=1.0)
+        model.observe("k", "process_shm", units=200_000, seconds=1.0)
+        pickle_choice = model.choose(
+            "k", 50_000, ParallelConfig(workers=4, backend="process")
+        )
+        assert pickle_choice.backend == "process"  # never upgraded
+        shm_choice = model.choose(
+            "k",
+            50_000,
+            ParallelConfig(workers=4, backend="process", transport="shm"),
+        )
+        assert shm_choice.backend == "process_shm"
+
+
+class TestWorkerPool:
+    def test_acquire_release_reuses_the_pool(self):
+        from repro.utils.parallel import WorkerPool
+
+        keeper = WorkerPool()
+        try:
+            pool = keeper.acquire(2)
+            assert pool.submit(_square, 3).result() == 9
+            keeper.release(pool, dirty=False)
+            assert keeper.warm
+            again = keeper.acquire(2)
+            assert again is pool
+            assert keeper.spawns == 1
+            keeper.release(again, dirty=False)
+        finally:
+            keeper.discard()
+
+    def test_dirty_release_discards_the_pool(self):
+        from repro.utils.parallel import WorkerPool
+
+        keeper = WorkerPool()
+        try:
+            pool = keeper.acquire(2)
+            keeper.release(pool, dirty=True)
+            assert not keeper.warm
+            fresh = keeper.acquire(2)
+            assert fresh is not pool
+            assert keeper.spawns == 2
+            keeper.release(fresh, dirty=False)
+        finally:
+            keeper.discard()
+
+    def test_wider_request_respawns(self):
+        from repro.utils.parallel import WorkerPool
+
+        keeper = WorkerPool()
+        try:
+            narrow = keeper.acquire(1)
+            keeper.release(narrow, dirty=False)
+            wide = keeper.acquire(2)
+            assert wide is not narrow
+            keeper.release(wide, dirty=False)
+            # ... and the wide pool then serves narrower requests.
+            assert keeper.acquire(1) is wide
+            keeper.release(wide, dirty=False)
+        finally:
+            keeper.discard()
+
+    def test_warm_pool_overhead_is_marginal(self):
+        from repro.utils.parallel import (
+            _WARM_POOL_OVERHEAD_S,
+            get_worker_pool,
+        )
+
+        model = CostModel(cpu_count=2)
+        keeper = get_worker_pool()
+        keeper.discard()  # earlier tests may have left the keeper warm
+        try:
+            cold = model.pool_overhead("process_shm")
+            assert cold >= _DEFAULT_OVERHEAD_FLOOR
+            measured = model.calibrate_overhead("process_shm")
+            assert keeper.warm
+            assert measured < 0.35
+            assert model.pool_overhead("process_shm") == pytest.approx(
+                measured
+            )
+        finally:
+            keeper.discard()
+        # Cold again: back to billing the full fork.
+        model.overheads.pop("process_shm", None)
+        assert model.pool_overhead("process_shm") >= _DEFAULT_OVERHEAD_FLOOR
+
+
+# The process fork overhead used when the warm pool is down.
+_DEFAULT_OVERHEAD_FLOOR = 0.1

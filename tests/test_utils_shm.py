@@ -1,0 +1,304 @@
+"""Shared-memory transport: lifecycle, identity, and leak guarantees.
+
+The shm tier's contract is leak-proof ownership (a fan-out can never
+leave a segment behind — not on success, not on error, not when a
+worker is SIGKILLed mid-task) plus strict owner-side resolution (the
+serial fallback never maps shared memory).  These tests pin both, along
+with the descriptor algebra call sites rely on for sharding.
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core import Fault, FaultInjector
+from repro.hashing.pairwise import radius_neighbors
+from repro.utils.parallel import ParallelConfig
+from repro.utils.shm import (
+    ShmArrayRef,
+    SharedArrayRegistry,
+    get_registry,
+    resolve_array,
+    shared_inputs,
+    sweep_stale_segments,
+)
+
+_SHM_DIR = "/dev/shm"
+
+
+def _our_segments() -> list[str]:
+    return [
+        os.path.basename(path)
+        for path in glob.glob(os.path.join(_SHM_DIR, "repro_shm_*"))
+    ]
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test must finish with zero repro segments on disk."""
+    before = set(_our_segments())
+    yield
+    leaked = set(_our_segments()) - before
+    assert not leaked, f"test leaked shm segments: {sorted(leaked)}"
+
+
+class TestShmArrayRef:
+    def test_slicing_composes(self):
+        ref = ShmArrayRef(
+            segment="s", dtype="<u8", size=100, start=0, stop=100
+        )
+        assert len(ref) == 100
+        window = ref[10:60]
+        assert (window.start, window.stop) == (10, 60)
+        nested = window[5:20]
+        assert (nested.start, nested.stop) == (15, 30)
+        assert len(nested) == 15
+
+    def test_slice_clamps_like_an_array(self):
+        ref = ShmArrayRef(segment="s", dtype="<u8", size=10, start=0, stop=10)
+        assert (ref[5:999].start, ref[5:999].stop) == (5, 10)
+        assert len(ref[7:3]) == 0
+
+    def test_non_contiguous_slice_rejected(self):
+        ref = ShmArrayRef(segment="s", dtype="<u8", size=10, start=0, stop=10)
+        with pytest.raises(TypeError):
+            ref[::2]
+        with pytest.raises(TypeError):
+            ref[3]
+
+
+class TestRegistryLifecycle:
+    def test_publish_resolve_roundtrip(self):
+        registry = get_registry()
+        array = np.arange(32, dtype=np.uint64)
+        ref = registry.publish(array)
+        try:
+            assert ref.size == 32
+            resolved = registry.resolve(ref[4:12])
+            assert np.array_equal(resolved, array[4:12])
+        finally:
+            registry.release(ref)
+
+    def test_owner_resolves_from_original_array(self):
+        # The owner-side path must short-circuit to the published array
+        # (serial fallback never maps shm) — shared memory, not a copy.
+        registry = get_registry()
+        array = np.arange(16, dtype=np.int64)
+        ref = registry.publish(array)
+        try:
+            assert np.shares_memory(registry.resolve(ref), array)
+        finally:
+            registry.release(ref)
+
+    def test_release_is_idempotent(self):
+        registry = get_registry()
+        ref = registry.publish(np.ones(4, dtype=np.uint64))
+        registry.release(ref)
+        registry.release(ref)  # second release: silent no-op
+        registry.release(None)
+
+    def test_double_unlink_is_safe(self):
+        # Someone else (the stale sweep, an operator) removed the
+        # segment file first: release must still succeed.
+        registry = get_registry()
+        ref = registry.publish(np.ones(4, dtype=np.uint64))
+        os.unlink(os.path.join(_SHM_DIR, ref.segment))
+        registry.release(ref)
+
+    def test_segment_name_embeds_owner_pid(self):
+        registry = get_registry()
+        ref = registry.publish(np.ones(2, dtype=np.uint64))
+        try:
+            assert f"_{os.getpid()}_" in ref.segment
+        finally:
+            registry.release(ref)
+
+    def test_zero_length_array_publishes(self):
+        registry = get_registry()
+        ref = registry.publish(np.empty(0, dtype=np.uint64))
+        try:
+            assert registry.resolve(ref).size == 0
+        finally:
+            registry.release(ref)
+
+
+class TestResolveArray:
+    def test_plain_array_passthrough(self):
+        array = np.asarray([3, 1, 2], dtype=np.int64)
+        out = resolve_array(array, np.int64)
+        assert out.dtype == np.int64
+        assert np.array_equal(out, array)
+
+    def test_dtype_mismatch_fails_loudly(self):
+        registry = get_registry()
+        ref = registry.publish(np.ones(4, dtype=np.uint64))
+        try:
+            with pytest.raises(TypeError, match="holds"):
+                resolve_array(ref, np.int64)
+        finally:
+            registry.release(ref)
+
+
+class TestSharedInputs:
+    def test_serial_config_passes_arrays_through_untouched(self):
+        # The pickle transport (and serial path) must never publish: the
+        # yielded objects ARE the input arrays.
+        array = np.arange(8, dtype=np.uint64)
+        before = set(_our_segments())
+        with shared_inputs(ParallelConfig(), array) as (out,):
+            assert out is array
+            assert set(_our_segments()) == before
+
+    def test_shm_config_publishes_and_releases(self):
+        parallel = ParallelConfig(workers=2, transport="shm")
+        assert parallel.uses_shm
+        array = np.arange(8, dtype=np.uint64)
+        with shared_inputs(parallel, array) as (ref,):
+            assert isinstance(ref, ShmArrayRef)
+            assert os.path.exists(os.path.join(_SHM_DIR, ref.segment))
+        assert not os.path.exists(os.path.join(_SHM_DIR, ref.segment))
+
+    def test_releases_on_error(self):
+        parallel = ParallelConfig(workers=2, transport="shm")
+        array = np.arange(8, dtype=np.uint64)
+        captured = []
+        with pytest.raises(RuntimeError):
+            with shared_inputs(parallel, array) as (ref,):
+                captured.append(ref.segment)
+                raise RuntimeError("fan-out blew up")
+        assert not os.path.exists(os.path.join(_SHM_DIR, captured[0]))
+
+
+class TestStaleSweep:
+    def test_dead_owner_segment_reclaimed(self):
+        # Forge a segment whose embedded owner PID no longer exists
+        # (the aftermath of a SIGKILLed publisher).
+        dead_pid = 2**22 - 7  # beyond any default pid_max namespace
+        assert not os.path.exists(f"/proc/{dead_pid}")
+        name = f"repro_shm_{dead_pid}_1_deadbeef"
+        path = os.path.join(_SHM_DIR, name)
+        with open(path, "wb") as handle:
+            handle.write(b"\0" * 8)
+        assert sweep_stale_segments() >= 1
+        assert not os.path.exists(path)
+
+    def test_live_owner_and_foreign_names_left_alone(self):
+        registry = get_registry()
+        ref = registry.publish(np.ones(2, dtype=np.uint64))  # live: us
+        foreign = os.path.join(_SHM_DIR, "repro_shm_notapid_1_cafe")
+        with open(foreign, "wb") as handle:
+            handle.write(b"\0" * 8)
+        try:
+            sweep_stale_segments()
+            assert os.path.exists(os.path.join(_SHM_DIR, ref.segment))
+            assert os.path.exists(foreign)  # unparseable PID: untouched
+        finally:
+            registry.release(ref)
+            os.unlink(foreign)
+
+
+def _probe_worker_view(ref):
+    """Worker-side resolution: read-only view, correct values."""
+    view = resolve_array(ref, np.int64)
+    total = int(view.sum())
+    try:
+        view[0] = -1
+        writable = True
+    except ValueError:
+        writable = False
+    return writable, total
+
+
+class TestWorkerResolution:
+    def test_spawned_worker_view_is_readonly_and_correct(self):
+        # A spawned worker starts with an empty registry and must go
+        # through the attach path (a forked worker would short-circuit
+        # to the inherited _local copy, which is the owner-side path).
+        registry = get_registry()
+        array = np.arange(64, dtype=np.int64)
+        ref = registry.publish(array)
+        try:
+            context = multiprocessing.get_context("spawn")
+            with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+                writable, total = pool.submit(
+                    _probe_worker_view, ref[8:16]
+                ).result()
+            assert not writable
+            assert total == int(array[8:16].sum())
+        finally:
+            registry.release(ref)
+
+    def test_forked_worker_resolves_inherited_local_copy(self):
+        registry = get_registry()
+        array = np.arange(64, dtype=np.int64)
+        ref = registry.publish(array)
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+                _writable, total = pool.submit(
+                    _probe_worker_view, ref[8:16]
+                ).result()
+            assert total == int(array[8:16].sum())
+        finally:
+            registry.release(ref)
+
+
+class TestFanOutLeaks:
+    def _parallel(self, **kwargs):
+        return ParallelConfig(
+            workers=2, backend="process", transport="shm", **kwargs
+        )
+
+    def test_clean_fanout_leaks_nothing(self):
+        rng = np.random.default_rng(11)
+        hashes = rng.integers(0, 2**63, 3000, dtype=np.uint64)
+        serial = radius_neighbors(hashes, 4, parallel=ParallelConfig())
+        rows = radius_neighbors(hashes, 4, parallel=self._parallel())
+        assert all(np.array_equal(a, b) for a, b in zip(serial, rows))
+
+    def test_worker_killed_mid_fanout_leaks_no_segment(self):
+        # The chaos drill: a SIGKILLed worker can never unwind its own
+        # attachments, so the owner-side finally block is the only
+        # thing standing between the fan-out and a leaked segment.
+        rng = np.random.default_rng(13)
+        hashes = rng.integers(0, 2**63, 3000, dtype=np.uint64)
+        serial = radius_neighbors(hashes, 4, parallel=ParallelConfig())
+        faults = FaultInjector(
+            [Fault("parallel:worker", action="kill", times=1)]
+        )
+        rows = radius_neighbors(
+            hashes,
+            4,
+            parallel=self._parallel(chaos=faults.parallel_directive),
+        )
+        assert "parallel:worker" in faults.fired_sites()
+        assert all(np.array_equal(a, b) for a, b in zip(serial, rows))
+
+    def test_registry_counts_return_to_zero(self):
+        registry = get_registry()
+        baseline = registry.published_count
+        rng = np.random.default_rng(17)
+        hashes = rng.integers(0, 2**63, 2500, dtype=np.uint64)
+        radius_neighbors(hashes, 4, parallel=self._parallel())
+        assert registry.published_count == baseline
+
+
+class TestForkSafety:
+    def test_fork_child_never_unlinks_parent_segments(self):
+        # _release_owned is PID-guarded: simulate the forked child's
+        # finalizer firing by calling it under a foreign owner PID.
+        from repro.utils.shm import _release_owned
+
+        registry = SharedArrayRegistry()
+        ref = registry.publish(np.ones(4, dtype=np.uint64))
+        try:
+            _release_owned(registry._segments, owner_pid=os.getpid() + 1)
+            assert os.path.exists(os.path.join(_SHM_DIR, ref.segment))
+        finally:
+            registry.release(ref)
