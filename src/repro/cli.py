@@ -23,6 +23,21 @@ Commands
 ``cache``
     Inspect (``cache`` / ``cache info``) or wipe (``cache clear``) the
     content-addressed cache at ``--cache-dir``.
+``stream``
+    Feed the world's posts through the durable streaming ingester
+    (:mod:`repro.stream`): WAL-backed event batches, online
+    index/cluster/association state, drift-triggered compaction.
+    ``--wal-dir`` (or ``REPRO_WAL_DIR``) holds the write-ahead log and
+    the ``stream.ckpt`` checkpoint, so a killed run — including one
+    killed by an injected ``stream:ingest``/``stream:wal``/
+    ``stream:compact`` fault — resumes from checkpoint + WAL replay::
+
+        python -m repro --wal-dir wal --inject-fault stream:ingest@2@kill stream
+        python -m repro --wal-dir wal --verify-batch stream
+
+    ``--verify-batch`` re-runs the batch pipeline over the same event
+    prefix after ingestion and exits 4 unless the streamed state is
+    bit-identical.
 
 All commands share ``--seed``, ``--events-unit`` and ``--noise-scale``
 controlling the synthetic world's scale, plus the fault-tolerance flags
@@ -304,11 +319,56 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="transient-failure retries per request (default 2)",
     )
+    streaming = parser.add_argument_group(
+        "stream options (durable streaming ingestion)"
+    )
+    streaming.add_argument(
+        "--wal-dir",
+        default=None,
+        help="directory of the write-ahead log and stream checkpoint "
+        "(default: REPRO_WAL_DIR env var; required for the stream "
+        "command)",
+    )
+    streaming.add_argument(
+        "--compact-threshold",
+        type=float,
+        default=None,
+        help="unique-hash growth ratio that triggers compaction "
+        "(default: REPRO_COMPACT_THRESHOLD env var, else 0.1)",
+    )
+    streaming.add_argument(
+        "--max-buffer",
+        type=int,
+        default=4096,
+        help="ingest admission-buffer bound in events; arrivals past it "
+        "are shed and re-read from the source cursor (default 4096)",
+    )
+    streaming.add_argument(
+        "--stream-batch",
+        type=int,
+        default=64,
+        help="events per WAL record — the append/fsync granularity "
+        "(default 64)",
+    )
+    streaming.add_argument(
+        "--stream-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after ingesting N events (default: the whole world)",
+    )
+    streaming.add_argument(
+        "--verify-batch",
+        action="store_true",
+        help="after ingesting, run the batch pipeline over the same "
+        "event prefix and exit 4 unless the streamed state is "
+        "bit-identical",
+    )
     parser.add_argument(
         "command",
         choices=(
             "overview", "top", "influence", "clusters", "report",
-            "serve-replay", "cache",
+            "serve-replay", "cache", "stream",
         ),
         help="what to run",
     )
@@ -504,6 +564,86 @@ def _cache_command(args, parser) -> int:
           f"in {_cache_dir(args)}")
     for key, size in entries:
         print(f"  {key}  {size:,} B")
+    return 0
+
+
+def _stream_command(args, parser, faults, parallel) -> int:
+    """Durable streaming ingestion over the world's event stream.
+
+    Pulls events from the world's :class:`repro.stream.EventSource` at
+    the ingester's durable cursor, so a recovered session (after a
+    crash or an injected kill) continues exactly where the WAL left
+    off — and shed events are simply re-read, never lost.
+    """
+    from repro.stream import (
+        DEFAULT_COMPACT_THRESHOLD,
+        PrefixWorld,
+        StreamConfig,
+        StreamIngester,
+        state_equals,
+        stream_config_from_env,
+    )
+
+    env = stream_config_from_env()
+    wal_dir = args.wal_dir or env.get("wal_dir")
+    if not wal_dir:
+        parser.error(
+            "the stream command requires --wal-dir (or REPRO_WAL_DIR)"
+        )
+    threshold = (
+        args.compact_threshold
+        if args.compact_threshold is not None
+        else env.get("compact_threshold", DEFAULT_COMPACT_THRESHOLD)
+    )
+    config = WorldConfig(
+        seed=args.seed,
+        events_unit=args.events_unit,
+        noise_scale=args.noise_scale,
+    )
+    print(f"Generating world (seed={config.seed}, "
+          f"events_unit={config.events_unit})...")
+    world = SyntheticWorld.generate(config)
+    source = world.event_source()
+    limit = source.n_events
+    if args.stream_events is not None:
+        limit = min(limit, args.stream_events)
+    print(f"  {len(world.posts):,} posts. Streaming {limit:,} events "
+          f"into {wal_dir}...\n")
+    stream = StreamConfig(
+        wal_dir=wal_dir,
+        compact_threshold=threshold,
+        max_buffer=args.max_buffer,
+        batch_size=args.stream_batch,
+    )
+    with StreamIngester(
+        world, stream=stream, faults=faults, parallel=parallel
+    ) as ingester:
+        if ingester.report.recoveries:
+            print(f"  recovered {ingester.n_events:,} events "
+                  f"(replayed {ingester.report.replayed_events:,} from "
+                  f"WAL, {ingester.report.torn_truncated} torn tails "
+                  f"truncated)")
+        while ingester.n_events < limit:
+            chunk = min(
+                args.stream_batch,
+                args.max_buffer,
+                limit - ingester.n_events,
+            )
+            ingester.ingest(source.read(ingester.n_events, chunk))
+        ingester.compact(force=True)
+        print(f"  [{ingester.report.summary()}]")
+        result = ingester.result()
+        n_events = ingester.n_events
+    if args.verify_batch:
+        print("\nVerifying against a cold batch run over the same "
+              f"{n_events:,}-event prefix...")
+        batch = run_pipeline(PrefixWorld(world, n_events), PipelineConfig())
+        if not state_equals(result, batch):
+            print("ERROR: streamed state diverged from the batch run",
+                  file=sys.stderr)
+            return 4
+        print("verified: streamed state is bit-identical to the batch run")
+    _print_overview(world, result)
     return 0
 
 
@@ -754,6 +894,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--index-shards must be >= 1")
     if args.replication is not None and args.replication < 1:
         parser.error("--replication must be >= 1")
+    if args.compact_threshold is not None and args.compact_threshold <= 0:
+        parser.error("--compact-threshold must be positive")
+    if args.max_buffer < 1:
+        parser.error("--max-buffer must be >= 1")
+    if args.stream_batch < 1:
+        parser.error("--stream-batch must be >= 1")
+    if args.stream_events is not None and args.stream_events < 0:
+        parser.error("--stream-events must be >= 0")
     if args.command == "cache":
         return _cache_command(args, parser)
     try:
@@ -762,6 +910,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(error))
     np.set_printoptions(precision=2, suppress=True)
     parallel = _parallel_config(args)
+    if args.command == "stream":
+        try:
+            return _stream_command(args, parser, faults, parallel)
+        except CheckpointLockError as error:
+            print(f"ERROR: {error}", file=sys.stderr)
+            return 3
     try:
         world, result = _world_and_pipeline(args, faults=faults, parallel=parallel)
     except CheckpointLockError as error:

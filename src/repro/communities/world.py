@@ -187,6 +187,21 @@ class SyntheticWorld:
             )
         return rows
 
+    def event_source(self):
+        """The post timeline as a resumable streaming cursor.
+
+        Generation already materialises every post from the per-entry
+        Hawkes simulations and sorts them into one deterministic
+        timeline (``(timestamp, community, image_id)``); this wraps it
+        in a :class:`repro.stream.EventSource` so the streaming
+        ingester consumes the same events incrementally — and a
+        recovered ingester resumes from its durable event count with no
+        gaps or duplicates.
+        """
+        from repro.stream import EventSource
+
+        return EventSource(self.posts)
+
     def ground_truth_sources(self) -> dict[int, str]:
         """Map ``hash -> template name`` for every meme image (evaluation)."""
         sources: dict[int, str] = {}

@@ -49,6 +49,21 @@ The supervised parallel executor (:mod:`repro.utils.parallel`) consults
   so shard-death drills target the scatter-gather router without
   touching other fan-outs.
 
+The streaming ingester (:mod:`repro.stream`) consults
+:meth:`FaultInjector.stream_directive` at its own sites:
+
+* ``"stream:ingest"`` — before each event batch is appended to the WAL;
+* ``"stream:wal"`` — inside the WAL append itself (a ``kill`` here
+  leaves a *torn tail*: half a frame reaches disk before the process
+  dies);
+* ``"stream:compact"`` — at the start of a compaction.
+
+``raise`` faults raise per firing as usual, but ``hang``/``kill``
+directives trigger on the fault's *final* armed firing (``times=N``
+= the Nth visit): an in-process kill can only happen once, so the
+budget counts down to the kill instead of repeating it — which is how
+``stream:ingest@2@kill`` scripts "die while appending batch 2".
+
 Faults are exceptions by default; raise :class:`repro.utils.retry.
 TransientError` (the default) to exercise the retry path, or any other
 exception type to exercise degradation/quarantine.
@@ -61,13 +76,23 @@ from pathlib import Path
 
 from repro.utils.retry import TransientError
 
-__all__ = ["Fault", "FaultInjector", "INDEX_SITES", "corrupt_file"]
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "INDEX_SITES",
+    "STREAM_SITES",
+    "corrupt_file",
+]
 
 PARALLEL_SITES = ("parallel:shard", "parallel:worker")
 # Kept in sync with repro.index_cluster.placement.INDEX_CHAOS_SITES
 # (a literal here, not an import: faults must stay import-light and
 # free of cycles with the index-cluster package).
 INDEX_SITES = ("index:shard", "index:replica")
+# Kept in sync with the sites repro.stream.StreamIngester fires (same
+# literal-copy rule as INDEX_SITES: no import cycle with the stream
+# package).
+STREAM_SITES = ("stream:ingest", "stream:wal", "stream:compact")
 
 
 def corrupt_file(path: str | Path, *, mode: str = "flip") -> None:
@@ -224,6 +249,43 @@ class FaultInjector:
                 raise fault.make_error()
             raise ValueError(
                 f"{fault.action!r} fault cannot fire at parallel site {site!r}"
+            )
+        return None
+
+    def stream_directive(self, site: str):
+        """Chaos hook for the streaming ingester (:mod:`repro.stream`).
+
+        Same shape as :meth:`parallel_directive` — ``raise`` faults
+        raise here, ``hang``/``kill`` faults come back as a
+        :class:`repro.utils.parallel.ChaosDirective` — with one
+        difference: hang/kill directives trigger on the fault's *final*
+        armed firing.  The ingester is a single process, so a kill can
+        only happen once; ``times=N`` therefore means "trigger on the
+        Nth visit to this site", letting drills target e.g. the second
+        WAL batch instead of always dying on the first.  Visits before
+        the trigger still consume the budget but return ``None``.
+        """
+        from repro.utils.parallel import ChaosDirective
+
+        if site not in STREAM_SITES:
+            raise ValueError(
+                f"unknown stream chaos site {site!r}; "
+                f"expected one of {STREAM_SITES}"
+            )
+        for fault in self.faults:
+            if fault.site != site or not fault.armed:
+                continue
+            fault.fired += 1
+            if fault.action == "raise":
+                self.log.append(site)
+                raise fault.make_error()
+            if fault.action in ("hang", "kill"):
+                if fault.armed:
+                    continue  # not the final armed firing yet
+                self.log.append(site)
+                return ChaosDirective(fault.action, delay_s=fault.delay_s)
+            raise ValueError(
+                f"{fault.action!r} fault cannot fire at stream site {site!r}"
             )
         return None
 

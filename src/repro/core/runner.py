@@ -87,9 +87,60 @@ from repro.utils.parallel import (
 )
 from repro.utils.retry import RetryPolicy, retry_call
 
-__all__ = ["PipelineRunner", "RunnerOptions", "StageFailure", "STAGES"]
+__all__ = [
+    "PipelineRunner",
+    "RunnerOptions",
+    "StageFailure",
+    "STAGES",
+    "build_occurrence_table",
+]
 
 STAGES = ("cluster", "screenshot-filter", "annotate", "associate")
+
+
+def build_occurrence_table(
+    posts: list,
+    annotations: dict[ClusterKey, object],
+    cluster_keys: list[ClusterKey],
+    association: AssociationResult,
+) -> OccurrenceTable:
+    """Assemble Step 6's occurrence table from per-post association.
+
+    Shared by the batch associate stage and the streaming ingester
+    (:mod:`repro.stream`): given the posts, the annotation catalogue,
+    and the per-post association arrays, produce the flat matched-post
+    table.  Pure and deterministic — the bit-identity between a
+    streamed state and a cold batch run reduces to their inputs here
+    being equal.
+    """
+    matched = association.cluster_ids >= 0
+    matched_posts = [post for post, hit in zip(posts, matched) if hit]
+    cluster_indices = association.cluster_ids[matched]
+    entry_names = [
+        annotations[cluster_keys[index]].representative
+        for index in cluster_indices
+    ]
+    is_racist = np.array(
+        [
+            annotations[cluster_keys[index]].is_racist
+            for index in cluster_indices
+        ],
+        dtype=bool,
+    )
+    is_politics = np.array(
+        [
+            annotations[cluster_keys[index]].is_politics
+            for index in cluster_indices
+        ],
+        dtype=bool,
+    )
+    return OccurrenceTable(
+        posts=matched_posts,
+        cluster_indices=np.asarray(cluster_indices, dtype=np.int64),
+        entry_names=entry_names,
+        is_racist=is_racist,
+        is_politics=is_politics,
+    )
 
 
 def _associate_community_shard(
@@ -798,35 +849,8 @@ class PipelineRunner:
             association = self._associate_cached(
                 all_hashes, medoid_by_global, report
             )
-            matched = association.cluster_ids >= 0
-            matched_posts = [
-                post for post, hit in zip(self.world.posts, matched) if hit
-            ]
-            cluster_indices = association.cluster_ids[matched]
-            entry_names = [
-                annotations[cluster_keys[index]].representative
-                for index in cluster_indices
-            ]
-            is_racist = np.array(
-                [
-                    annotations[cluster_keys[index]].is_racist
-                    for index in cluster_indices
-                ],
-                dtype=bool,
-            )
-            is_politics = np.array(
-                [
-                    annotations[cluster_keys[index]].is_politics
-                    for index in cluster_indices
-                ],
-                dtype=bool,
-            )
-            return OccurrenceTable(
-                posts=matched_posts,
-                cluster_indices=np.asarray(cluster_indices, dtype=np.int64),
-                entry_names=entry_names,
-                is_racist=is_racist,
-                is_politics=is_politics,
+            return build_occurrence_table(
+                self.world.posts, annotations, cluster_keys, association
             )
 
         try:

@@ -1,0 +1,759 @@
+"""Durable streaming ingestion with crash-consistent recovery.
+
+:class:`StreamIngester` consumes an unbounded post stream (a
+:class:`repro.stream.EventSource` cursor) and maintains the pipeline's
+index/cluster/association state online, on top of the incremental
+primitives the batch runner already trusts
+(:func:`repro.hashing.pairwise.merge_radius_neighbors`, suffix-only
+association, deterministic DBSCAN re-derivation).
+
+The durability protocol, in order, for every event batch:
+
+1. the batch is appended to the write-ahead log and **fsynced**
+   (:class:`repro.stream.wal.WriteAheadLog`);
+2. only then is it applied to in-memory state (unique-hash sets,
+   merged neighbourhoods, suffix association against the frozen
+   medoids).
+
+A *compaction* (triggered when the unique-hash growth ratio — a bound
+on medoid drift — exceeds ``compact_threshold``, or forced) promotes
+fresh state: full re-cluster from the incrementally maintained
+neighbourhoods, re-annotation, full re-association against the new
+medoids, a sliding-window Hawkes refit, then a durable checkpoint
+(``stream.ckpt``, the ``RPC1`` container from
+:func:`repro.utils.io.save_checkpoint`) followed by WAL truncation.
+
+Recovery is therefore: load the last checkpoint (if any), replay the
+WAL suffix past it, and continue from the durable event count — the
+:class:`EventSource` cursor.  Because every applied step is
+deterministic and bit-identical to its cold counterpart, the recovered
+state at any compaction point equals a cold batch
+:func:`repro.core.run_pipeline` over the same event prefix
+(:func:`state_equals` pins this; so do the tests and the
+``stream-chaos-smoke`` CI job, through SIGKILLs at every injected
+site).
+
+Overload safety comes from a bounded admission buffer reusing the
+:class:`repro.service.admission.AdmissionQueue` watermark-shedding
+pattern: shed events are *not* lost — the cursor re-reads them — they
+are just deferred, which is what bounds memory under a producer that
+outruns the ingester.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.annotation.association import (
+    UNASSIGNED,
+    AssociationResult,
+    associate_hashes,
+)
+from repro.annotation.matcher import annotate_clusters
+from repro.clustering.dbscan import dbscan, dbscan_from_neighbors
+from repro.clustering.medoid import medoids_by_cluster
+from repro.communities.models import COMMUNITIES, FRINGE_COMMUNITIES
+from repro.core.config import PipelineConfig
+from repro.core.results import (
+    ClusterKey,
+    CommunityClustering,
+    PipelineResult,
+)
+from repro.core.runner import build_occurrence_table
+from repro.hashing.pairwise import merge_radius_neighbors
+from repro.hawkes.fit import FitConfig, fit_hawkes_em
+from repro.hawkes.model import EventSequence
+from repro.service.admission import AdmissionQueue
+from repro.stream.config import StreamConfig
+from repro.stream.wal import WriteAheadLog
+from repro.utils.io import (
+    CheckpointLock,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+__all__ = ["StreamIngester", "StreamReport", "state_equals"]
+
+_CHECKPOINT_NAME = "stream.ckpt"
+
+
+@dataclass
+class StreamReport:
+    """Observability surface of one ingester session.
+
+    Mirrors :class:`repro.core.results.StageReport`'s role for the
+    streaming path: counters an operator alerts on, with a one-line
+    :meth:`summary` for the CLI.
+    """
+
+    events_ingested: int = 0
+    events_shed: int = 0
+    batches: int = 0
+    wal_records: int = 0
+    wal_bytes: int = 0
+    wal_segments: int = 0
+    wal_segments_truncated: int = 0
+    torn_truncated: int = 0
+    recoveries: int = 0
+    replayed_events: int = 0
+    compactions: int = 0
+    checkpoint_saves: int = 0
+    hawkes_refits: int = 0
+    drift: float = 0.0
+    last_compaction_s: float = 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable digest (CLI output)."""
+        parts = [
+            f"stream: ingested={self.events_ingested}",
+            f"shed={self.events_shed}",
+            f"batches={self.batches}",
+            f"wal[records={self.wal_records} bytes={self.wal_bytes} "
+            f"segments={self.wal_segments} "
+            f"truncated={self.wal_segments_truncated} "
+            f"torn={self.torn_truncated}]",
+            f"recoveries={self.recoveries}",
+            f"replayed={self.replayed_events}",
+            f"compactions={self.compactions}",
+            f"checkpoints={self.checkpoint_saves}",
+            f"hawkes_refits={self.hawkes_refits}",
+            f"drift={self.drift:.3f}",
+        ]
+        if self.last_compaction_s:
+            parts.append(f"last_compaction={self.last_compaction_s:.2f}s")
+        return "  ".join(parts)
+
+
+def state_equals(a: PipelineResult, b: PipelineResult) -> bool:
+    """Bit-level equality of two pipeline states.
+
+    The streamed-equals-batch acceptance invariant: clusterings
+    (unique hashes, counts, labels, medoids), the annotated-cluster
+    catalogue, and the occurrence table must all match exactly.
+    """
+    if sorted(a.clusterings) != sorted(b.clusterings):
+        return False
+    for community in a.clusterings:
+        x, y = a.clusterings[community], b.clusterings[community]
+        if not (
+            np.array_equal(x.unique_hashes, y.unique_hashes)
+            and np.array_equal(x.counts, y.counts)
+            and np.array_equal(x.result.labels, y.result.labels)
+        ):
+            return False
+        if {int(k): int(v) for k, v in x.medoids.items()} != {
+            int(k): int(v) for k, v in y.medoids.items()
+        }:
+            return False
+    if a.cluster_keys != b.cluster_keys:
+        return False
+    if set(a.annotations) != set(b.annotations):
+        return False
+    for key in a.annotations:
+        x, y = a.annotations[key], b.annotations[key]
+        if (
+            int(x.medoid_hash),
+            x.representative,
+            bool(x.is_racist),
+            bool(x.is_politics),
+        ) != (
+            int(y.medoid_hash),
+            y.representative,
+            bool(y.is_racist),
+            bool(y.is_politics),
+        ):
+            return False
+    ox, oy = a.occurrences, b.occurrences
+    return (
+        ox.posts == oy.posts
+        and np.array_equal(ox.cluster_indices, oy.cluster_indices)
+        and ox.entry_names == oy.entry_names
+        and np.array_equal(ox.is_racist, oy.is_racist)
+        and np.array_equal(ox.is_politics, oy.is_politics)
+    )
+
+
+class StreamIngester:
+    """WAL-backed online pipeline state over an unbounded post stream.
+
+    Parameters
+    ----------
+    world:
+        The static context (KYM site, template library, world config for
+        the seed).  Events are **not** read from ``world.posts`` — they
+        arrive only through :meth:`ingest`, typically pulled from
+        ``world.event_source()`` at :attr:`n_events`.
+    config:
+        Pipeline configuration; must match across sessions sharing a
+        WAL directory (the checkpoint fingerprint pins it).
+    stream:
+        The :class:`repro.stream.StreamConfig` knobs.
+    faults:
+        Optional :class:`repro.core.faults.FaultInjector`; consulted at
+        ``stream:ingest`` / ``stream:wal`` / ``stream:compact``.
+    parallel:
+        Optional :class:`repro.utils.parallel.ParallelConfig` for the
+        compaction-time full re-association (bit-identical for any
+        worker count).
+
+    Construction acquires the WAL directory's
+    :class:`repro.utils.io.CheckpointLock` and performs recovery:
+    torn-tail truncation inside the WAL scan, checkpoint load, WAL
+    suffix replay.  Always :meth:`close` (or use as a context manager)
+    to release the lock.
+    """
+
+    def __init__(
+        self,
+        world,
+        *,
+        stream: StreamConfig,
+        config: PipelineConfig | None = None,
+        faults=None,
+        parallel=None,
+    ) -> None:
+        self.world = world
+        self.config = config or PipelineConfig()
+        self.stream = stream
+        self.faults = faults
+        self.parallel = parallel
+        self.report = StreamReport()
+        self.wal_dir = Path(stream.wal_dir)
+        self.buffer = AdmissionQueue(
+            max_depth=stream.max_buffer, shed_watermark=stream.shed_watermark
+        )
+        # --- online state ---
+        self.posts: list = []
+        self._unique: dict[str, np.ndarray] = {
+            c: np.empty(0, dtype=np.uint64) for c in FRINGE_COMMUNITIES
+        }
+        self._counts: dict[str, np.ndarray] = {
+            c: np.empty(0, dtype=np.int64) for c in FRINGE_COMMUNITIES
+        }
+        self._neighbors: dict[str, list[np.ndarray]] = {
+            c: [] for c in FRINGE_COMMUNITIES
+        }
+        self._screenshot: dict | None = None
+        self._clusterings: dict[str, CommunityClustering] | None = None
+        self._annotations: dict[ClusterKey, object] = {}
+        self._cluster_keys: list[ClusterKey] = []
+        self._medoid_by_global: dict[int, int] = {}
+        self._assoc_ids = np.empty(0, dtype=np.int64)
+        self._assoc_dists = np.empty(0, dtype=np.int64)
+        self._hawkes = None
+        self._applied_seq = -1
+        self._compact_base_events = 0
+        self._compact_base_unique = 0
+        self._new_unique = 0
+        self.lock = CheckpointLock(self.wal_dir)
+        self.lock.acquire()
+        try:
+            self._recover()
+        except BaseException:
+            self.lock.release()
+            raise
+
+    # ------------------------------------------------------------------
+    # Identity and chaos plumbing
+    # ------------------------------------------------------------------
+
+    def _seed(self) -> int:
+        world_config = getattr(self.world, "config", None)
+        return int(getattr(world_config, "seed", 0) or 0)
+
+    def _fingerprint(self) -> str:
+        """Bind the checkpoint to (world identity, pipeline config).
+
+        Unlike the batch runner's per-stage fingerprint this must *not*
+        include the post count — the stream's whole point is that it
+        grows — but a different seed, scale, or pipeline config renames
+        the run and rejects the stale checkpoint.
+        """
+        world_config = getattr(self.world, "config", None)
+        return (
+            "stream-v1|"
+            f"seed={getattr(world_config, 'seed', None)}"
+            f",events_unit={getattr(world_config, 'events_unit', None)}"
+            f",noise_scale={getattr(world_config, 'noise_scale', None)}"
+            f"|{self.config!r}"
+        )
+
+    def _fire(self, site: str) -> None:
+        """Consult the chaos schedule at an ingester site."""
+        if self.faults is None:
+            return
+        directive = self.faults.stream_directive(site)
+        if directive is None:
+            return
+        if directive.action == "hang":
+            time.sleep(directive.delay_s)
+        elif directive.action == "kill":
+            os._exit(17)
+
+    def _wal_chaos(self):
+        if self.faults is None:
+            return None
+        return self.faults.stream_directive("stream:wal")
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        self.wal = WriteAheadLog(
+            self.wal_dir,
+            segment_max_bytes=self.stream.segment_max_bytes,
+            fsync=self.stream.fsync,
+            chaos=self._wal_chaos if self.faults is not None else None,
+        )
+        self.report.torn_truncated = self.wal.torn_truncated
+        checkpoint_path = self.wal_dir / _CHECKPOINT_NAME
+        had_state = checkpoint_path.exists() or self.wal.next_seq > 0
+        if checkpoint_path.exists():
+            self._restore(
+                load_checkpoint(checkpoint_path, fingerprint=self._fingerprint())
+            )
+        replayed = 0
+        for seq, record in self.wal.replay(after_seq=self._applied_seq):
+            self._apply_batch(record["posts"], seq)
+            replayed += len(record["posts"])
+        self.report.replayed_events = replayed
+        self.report.wal_segments = self.wal.n_segments
+        self.report.wal_bytes = self.wal.total_bytes
+        if had_state:
+            self.report.recoveries = 1
+
+    def _restore(self, payload: dict) -> None:
+        self.posts = list(payload["posts"])
+        self._unique = payload["unique"]
+        self._counts = payload["counts"]
+        self._neighbors = payload["neighbors"]
+        self._screenshot = payload["screenshot"]
+        self._clusterings = payload["clusterings"]
+        self._annotations = payload["annotations"]
+        self._cluster_keys = payload["cluster_keys"]
+        self._medoid_by_global = payload["medoid_by_global"]
+        self._assoc_ids = payload["assoc_ids"]
+        self._assoc_dists = payload["assoc_dists"]
+        self._hawkes = payload["hawkes"]
+        self._applied_seq = int(payload["applied_seq"])
+        self._compact_base_events = int(payload["compact_base_events"])
+        self._compact_base_unique = int(payload["compact_base_unique"])
+        self._new_unique = int(payload["new_unique"])
+        if self._screenshot is not None:
+            self._replay_gallery_flags(self._screenshot)
+
+    def _replay_gallery_flags(self, payload: dict) -> None:
+        """Replay recorded classifier decisions onto the galleries.
+
+        Mirrors the batch runner's screenshot-stage restore: the
+        classifier mode mutates gallery flags in place, so a recovered
+        session must re-apply the recorded decisions before annotating.
+        """
+        flags = payload.get("gallery_flags")
+        if flags is None:
+            return
+        for entry, entry_flags in zip(self.world.kym_site, flags):
+            for index, decided in enumerate(entry_flags):
+                image = entry.gallery[index]
+                if bool(image.is_screenshot) != decided:
+                    entry.gallery[index] = type(image)(
+                        phash=image.phash,
+                        is_screenshot=decided,
+                        template_name=image.template_name,
+                        image=image.image,
+                    )
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    @property
+    def n_events(self) -> int:
+        """Durably applied event count — the :class:`EventSource` cursor."""
+        return len(self.posts)
+
+    def drift(self) -> float:
+        """Unique-hash growth since the last compaction (medoid-drift bound).
+
+        Only *new unique hashes* can move a medoid or form a cluster,
+        so their count relative to the corpus at the last compaction
+        bounds how far the frozen medoid set can have drifted from what
+        a fresh clustering would promote.  Infinite before the first
+        compaction (any state is fresher than none).
+        """
+        if self._compact_base_events == 0:
+            return float("inf") if self.posts else 0.0
+        return self._new_unique / max(1, self._compact_base_unique)
+
+    def ingest(self, events) -> dict:
+        """Offer events to the bounded buffer, drain, maybe compact.
+
+        Returns ``{"admitted": int, "shed": int}``.  Shed events are
+        *deferred, not lost*: the caller re-reads them from the source
+        at :attr:`n_events` — which is why shedding cannot break the
+        streamed-equals-batch invariant.
+        """
+        admitted = 0
+        shed = 0
+        for event in events:
+            decision = self.buffer.offer(event)
+            if decision.admitted:
+                admitted += 1
+            else:
+                shed += 1
+        self.report.events_shed += shed
+        try:
+            self._drain()
+        except BaseException:
+            # Admitted-but-unapplied events must not linger: the caller
+            # recovers by re-reading the cursor, and anything left here
+            # would then be applied twice.  Dropping them is safe — they
+            # were never WAL-appended, so the cursor still covers them.
+            while self.buffer.pop() is not None:
+                pass
+            raise
+        self.compact()
+        return {"admitted": admitted, "shed": shed}
+
+    def _drain(self) -> None:
+        while len(self.buffer):
+            batch = []
+            while len(batch) < self.stream.batch_size:
+                item = self.buffer.pop()
+                if item is None:
+                    break
+                batch.append(item)
+            if not batch:
+                break
+            self._fire("stream:ingest")
+            # Durability before application: the WAL append (fsynced)
+            # must land before any in-memory state changes, so a crash
+            # between the two replays the batch instead of losing it.
+            seq = self.wal.append({"posts": batch})
+            self.report.wal_records += 1
+            self._apply_batch(batch, seq)
+        self.report.wal_segments = self.wal.n_segments
+        self.report.wal_bytes = self.wal.total_bytes
+        self.report.drift = min(self.drift(), float(len(self.posts)))
+
+    def _apply_batch(self, batch: list, seq: int) -> None:
+        """Apply one durable batch to the online state.
+
+        Per fringe community: merge the batch's new unique hashes into
+        the maintained neighbourhoods
+        (:func:`repro.hashing.pairwise.merge_radius_neighbors`, bit-
+        identical to a cold recompute) and bump multiplicities.  All
+        posts get suffix association against the frozen medoid set from
+        the last compaction.
+        """
+        self.posts.extend(batch)
+        eps = self.config.clustering_eps
+        for community in FRINGE_COMMUNITIES:
+            hashes = np.array(
+                [post.phash for post in batch if post.community == community],
+                dtype=np.uint64,
+            )
+            if hashes.size == 0:
+                continue
+            unique, multiplicities = np.unique(hashes, return_counts=True)
+            added = unique[~np.isin(unique, self._unique[community])]
+            if added.size:
+                merged, neighbors = merge_radius_neighbors(
+                    self._unique[community],
+                    self._neighbors[community],
+                    added,
+                    eps,
+                )
+                counts = np.zeros(merged.size, dtype=np.int64)
+                if self._unique[community].size:
+                    counts[
+                        np.searchsorted(merged, self._unique[community])
+                    ] = self._counts[community]
+                self._unique[community] = merged
+                self._counts[community] = counts
+                self._neighbors[community] = neighbors
+                self._new_unique += int(added.size)
+            self._counts[community][
+                np.searchsorted(self._unique[community], unique)
+            ] += multiplicities
+        batch_hashes = np.array(
+            [post.phash for post in batch], dtype=np.uint64
+        )
+        if self._medoid_by_global:
+            suffix = associate_hashes(
+                batch_hashes, self._medoid_by_global, theta=self.config.theta
+            )
+            ids, dists = suffix.cluster_ids, suffix.distances
+        else:
+            ids = np.full(batch_hashes.size, UNASSIGNED, dtype=np.int64)
+            dists = np.full(batch_hashes.size, -1, dtype=np.int64)
+        self._assoc_ids = np.concatenate([self._assoc_ids, ids])
+        self._assoc_dists = np.concatenate([self._assoc_dists, dists])
+        self._applied_seq = seq
+        self.report.events_ingested += len(batch)
+        self.report.batches += 1
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def compact(self, force: bool = False) -> bool:
+        """Promote fresh state and truncate the durable history.
+
+        Full re-cluster from the maintained neighbourhoods, fresh
+        annotation, full re-association against the promoted medoids,
+        sliding-window Hawkes refit, then a durable checkpoint followed
+        by WAL segment truncation — in that order, so a crash anywhere
+        leaves either the old checkpoint + full WAL or the new
+        checkpoint (+ possibly untruncated segments, which replay as
+        no-ops past ``applied_seq``).
+
+        Returns ``True`` when a compaction ran.
+        """
+        if not self.posts:
+            return False
+        pending = len(self.posts) - self._compact_base_events
+        if not force:
+            if pending < self.stream.min_compact_events:
+                return False
+            if self.drift() <= self.stream.compact_threshold:
+                return False
+        self._fire("stream:compact")
+        started = time.perf_counter()
+        if self._screenshot is None:
+            self._screenshot = self._run_screenshot_filter()
+        exclude = self._screenshot["exclude"]
+        clusterings = {
+            community: self._cluster_community(community)
+            for community in FRINGE_COMMUNITIES
+        }
+        annotations: dict[ClusterKey, object] = {}
+        cluster_keys: list[ClusterKey] = []
+        for community in FRINGE_COMMUNITIES:
+            community_annotations = annotate_clusters(
+                clusterings[community].medoids,
+                self.world.kym_site,
+                theta=self.config.theta,
+                exclude_screenshots=exclude,
+            )
+            for cluster_id, annotation in sorted(community_annotations.items()):
+                key = ClusterKey(community, cluster_id)
+                annotations[key] = annotation
+                cluster_keys.append(key)
+        medoid_by_global = {
+            index: int(annotations[key].medoid_hash)
+            for index, key in enumerate(cluster_keys)
+        }
+        all_hashes = np.array(
+            [post.phash for post in self.posts], dtype=np.uint64
+        )
+        association = associate_hashes(
+            all_hashes,
+            medoid_by_global,
+            theta=self.config.theta,
+            parallel=self.parallel,
+        )
+        self._clusterings = clusterings
+        self._annotations = annotations
+        self._cluster_keys = cluster_keys
+        self._medoid_by_global = medoid_by_global
+        self._assoc_ids = association.cluster_ids
+        self._assoc_dists = association.distances
+        self._refit_hawkes()
+        self._compact_base_events = len(self.posts)
+        self._compact_base_unique = int(
+            sum(unique.size for unique in self._unique.values())
+        )
+        self._new_unique = 0
+        self._save_checkpoint()
+        removed = self.wal.truncate_through(self._applied_seq)
+        self.report.wal_segments_truncated += removed
+        self.report.wal_segments = self.wal.n_segments
+        self.report.wal_bytes = self.wal.total_bytes
+        self.report.compactions += 1
+        self.report.drift = 0.0
+        self.report.last_compaction_s = time.perf_counter() - started
+        return True
+
+    def _run_screenshot_filter(self) -> dict:
+        from repro.core.pipeline import filter_kym_screenshots
+
+        exclude, eval_report = filter_kym_screenshots(
+            self.world.kym_site,
+            self.config,
+            seed=self._seed(),
+            library=getattr(self.world, "library", None),
+        )
+        payload = {
+            "exclude": exclude,
+            "report": eval_report,
+            "mode": self.config.screenshot_filter,
+        }
+        if self.config.screenshot_filter == "classifier":
+            payload["gallery_flags"] = [
+                [bool(image.is_screenshot) for image in entry.gallery]
+                for entry in self.world.kym_site
+            ]
+        return payload
+
+    def _cluster_community(self, community: str) -> CommunityClustering:
+        """Steps 2-3 from the maintained neighbourhoods (bit-identical).
+
+        Labels and medoids are re-derived deterministically, exactly as
+        the batch runner's cached path does — the neighbourhoods came
+        from ``merge_radius_neighbors``, which is pinned bit-identical
+        to a cold ``radius_neighbors`` over the same unique set.
+        """
+        unique = self._unique[community]
+        counts = self._counts[community]
+        if unique.size == 0:
+            return CommunityClustering(
+                community=community,
+                unique_hashes=unique,
+                counts=counts,
+                result=dbscan(unique, eps=self.config.clustering_eps),
+                medoids={},
+            )
+        result = dbscan_from_neighbors(
+            self._neighbors[community],
+            min_samples=self.config.clustering_min_samples,
+            counts=counts,
+        )
+        medoid_positions = medoids_by_cluster(unique, result.labels, counts)
+        medoids = {
+            cluster_id: np.uint64(unique[position])
+            for cluster_id, position in medoid_positions.items()
+        }
+        return CommunityClustering(
+            community=community,
+            unique_hashes=unique,
+            counts=counts,
+            result=result,
+            medoids=medoids,
+        )
+
+    def _refit_hawkes(self) -> None:
+        """Sliding-window Hawkes refit over the matched occurrences.
+
+        Pools one :class:`EventSequence` per annotated cluster (events
+        within ``hawkes_window_days`` of the stream head) and fits one
+        model via :func:`repro.hawkes.fit.fit_hawkes_em` — the online
+        influence model promoted alongside the new medoids.
+        """
+        if not self._cluster_keys:
+            self._hawkes = None
+            return
+        community_index = {name: k for k, name in enumerate(COMMUNITIES)}
+        head = max(post.timestamp for post in self.posts)
+        window = self.stream.hawkes_window_days
+        cutoff = head - window if window is not None else None
+        times: dict[int, list[float]] = {}
+        procs: dict[int, list[int]] = {}
+        for post, cluster_index in zip(self.posts, self._assoc_ids):
+            if cluster_index < 0:
+                continue
+            if cutoff is not None and post.timestamp < cutoff:
+                continue
+            times.setdefault(int(cluster_index), []).append(post.timestamp)
+            procs.setdefault(int(cluster_index), []).append(
+                community_index[post.community]
+            )
+        world_config = getattr(self.world, "config", None)
+        horizon = max(head, float(getattr(world_config, "horizon_days", 0.0)))
+        sequences = [
+            EventSequence.from_unsorted(
+                np.array(t), np.array(procs[index]), horizon
+            )
+            for index, t in sorted(times.items())
+            if len(t) >= self.stream.hawkes_min_events
+        ]
+        if not sequences:
+            self._hawkes = None
+            return
+        self._hawkes = fit_hawkes_em(
+            sequences, n_processes=len(COMMUNITIES), config=FitConfig()
+        )
+        self.report.hawkes_refits += 1
+
+    def _save_checkpoint(self) -> None:
+        payload = {
+            "posts": self.posts,
+            "unique": self._unique,
+            "counts": self._counts,
+            "neighbors": self._neighbors,
+            "screenshot": self._screenshot,
+            "clusterings": self._clusterings,
+            "annotations": self._annotations,
+            "cluster_keys": self._cluster_keys,
+            "medoid_by_global": self._medoid_by_global,
+            "assoc_ids": self._assoc_ids,
+            "assoc_dists": self._assoc_dists,
+            "hawkes": self._hawkes,
+            "applied_seq": self._applied_seq,
+            "compact_base_events": self._compact_base_events,
+            "compact_base_unique": self._compact_base_unique,
+            "new_unique": self._new_unique,
+        }
+        save_checkpoint(
+            self.wal_dir / _CHECKPOINT_NAME,
+            payload,
+            fingerprint=self._fingerprint(),
+        )
+        self.report.checkpoint_saves += 1
+
+    # ------------------------------------------------------------------
+    # Results and lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def hawkes_model(self):
+        """The last compaction's Hawkes fit (``None`` before the first)."""
+        return self._hawkes
+
+    def result(self) -> PipelineResult:
+        """The current online state as a :class:`PipelineResult`.
+
+        At a compaction point this is bit-identical to a cold batch run
+        over the same event prefix; between compactions the clusters
+        are the frozen set with suffix-associated occurrences (the
+        online serving view).
+        """
+        if self._clusterings is not None:
+            clusterings = dict(self._clusterings)
+        else:
+            clusterings = {
+                community: self._cluster_community(community)
+                for community in FRINGE_COMMUNITIES
+            }
+        association = AssociationResult(
+            cluster_ids=self._assoc_ids, distances=self._assoc_dists
+        )
+        occurrences = build_occurrence_table(
+            self.posts, self._annotations, self._cluster_keys, association
+        )
+        screenshot = self._screenshot or {}
+        return PipelineResult(
+            clusterings=clusterings,
+            annotations=dict(self._annotations),
+            cluster_keys=list(self._cluster_keys),
+            occurrences=occurrences,
+            screenshot_report=screenshot.get("report"),
+            stage_reports=[],
+        )
+
+    def close(self) -> None:
+        """Release the WAL handle and the checkpoint lock (idempotent)."""
+        self.wal.close()
+        self.lock.release()
+
+    def __enter__(self) -> "StreamIngester":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

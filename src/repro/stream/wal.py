@@ -1,0 +1,351 @@
+"""Segmented write-ahead log with integrity-checked, fsynced records.
+
+The streaming ingester (:mod:`repro.stream.ingester`) must survive a
+SIGKILL at any instant and recover to a state bit-identical to a batch
+run over the events it acknowledged.  The write-ahead log is the
+durability half of that contract: every event batch is appended — and
+fsynced — *before* it is applied to in-memory state, so the durable
+prefix always leads the applied prefix.
+
+Record framing follows the ``RPC1`` checkpoint container from
+:mod:`repro.utils.io` (magic, digest, length-framed payload), with a
+sequence number so replay can skip records already covered by a
+checkpoint::
+
+    b"RWL1" | sha256(seq || payload) (32B) | seq (8B BE) | len (4B BE) | payload
+
+Records live in numbered segment files (``wal-00000000.seg``, rotated
+at ``segment_max_bytes``) so compaction can drop the durable history
+covered by a checkpoint with whole-file unlinks
+(:meth:`WriteAheadLog.truncate_through`) instead of rewriting a log.
+
+Crash anatomy on open: a crash mid-append can only leave a *torn tail*
+— a partial frame at the end of the **last** segment.  The scan
+truncates it (those events were never acknowledged; the ingester
+re-reads them from its cursor) and keeps going.  Any other framing or
+digest failure is *mid-file corruption* — impossible from a crash,
+so it raises :class:`WALCorruptError` instead of silently dropping
+acknowledged records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from collections.abc import Iterator
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["WALCorruptError", "WALError", "WriteAheadLog"]
+
+_WAL_MAGIC = b"RWL1"
+# magic + sha256 digest + 8-byte seq + 4-byte payload length
+_HEADER_LEN = len(_WAL_MAGIC) + 32 + 8 + 4
+
+
+class WALError(RuntimeError):
+    """The write-ahead log is unusable (bad layout, broken sequence)."""
+
+
+class WALCorruptError(WALError):
+    """Mid-file corruption: a bad record *not* attributable to a crash."""
+
+
+class _Segment:
+    __slots__ = ("path", "index", "first_seq", "last_seq", "size")
+
+    def __init__(self, path: Path, index: int) -> None:
+        self.path = path
+        self.index = index
+        self.first_seq: int | None = None
+        self.last_seq: int | None = None
+        self.size = 0
+
+
+def _frame(seq: int, payload: bytes) -> bytes:
+    seq_bytes = seq.to_bytes(8, "big")
+    digest = hashlib.sha256(seq_bytes + payload).digest()
+    return (
+        _WAL_MAGIC
+        + digest
+        + seq_bytes
+        + len(payload).to_bytes(4, "big")
+        + payload
+    )
+
+
+def _parse_segment(
+    blob: bytes, path: Path, *, final: bool
+) -> tuple[list[tuple[int, int, int]], int, int]:
+    """Parse one segment's frames.
+
+    Returns ``(records, good_end, torn)`` where ``records`` holds
+    ``(seq, payload_start, payload_len)`` triples, ``good_end`` is the
+    offset past the last intact record, and ``torn`` counts partial
+    tail records dropped (0 or 1; only ever nonzero for the final
+    segment).  Raises :class:`WALCorruptError` for damage that cannot
+    be a torn tail.
+    """
+    records: list[tuple[int, int, int]] = []
+    offset = 0
+    size = len(blob)
+    while offset < size:
+        remaining = size - offset
+        if remaining < _HEADER_LEN:
+            if final:
+                return records, offset, 1
+            raise WALCorruptError(
+                f"{path}: truncated record header mid-log at offset {offset}"
+            )
+        if blob[offset : offset + 4] != _WAL_MAGIC:
+            raise WALCorruptError(
+                f"{path}: bad record magic at offset {offset}"
+            )
+        digest = blob[offset + 4 : offset + 36]
+        seq_bytes = blob[offset + 36 : offset + 44]
+        payload_len = int.from_bytes(blob[offset + 44 : offset + 48], "big")
+        end = offset + _HEADER_LEN + payload_len
+        if end > size:
+            if final:
+                return records, offset, 1
+            raise WALCorruptError(
+                f"{path}: truncated record payload mid-log at offset {offset}"
+            )
+        payload = blob[offset + _HEADER_LEN : end]
+        if hashlib.sha256(seq_bytes + payload).digest() != digest:
+            if final and end == size:
+                # Digest failure on the very last record: a torn write
+                # that happened to cover the full frame length.
+                return records, offset, 1
+            raise WALCorruptError(
+                f"{path}: record digest mismatch at offset {offset} "
+                "(mid-file corruption)"
+            )
+        records.append(
+            (int.from_bytes(seq_bytes, "big"), offset + _HEADER_LEN, payload_len)
+        )
+        offset = end
+    return records, offset, 0
+
+
+class WriteAheadLog:
+    """Append-only, crash-consistent record log over segment files.
+
+    Parameters
+    ----------
+    directory:
+        Where segments live; created if missing.
+    segment_max_bytes:
+        Rotate to a fresh segment once the active one reaches this size
+        (checked after each append, so records are never split).
+    fsync:
+        Fsync after every append (the durability contract; tests may
+        turn it off for speed where durability is not under test).
+    chaos:
+        Optional zero-argument callable consulted before every append —
+        the :meth:`repro.core.faults.FaultInjector.stream_directive`
+        hook for the ``stream:wal`` site.  A ``kill`` directive writes
+        half the frame, fsyncs, and ``os._exit(17)``s — manufacturing
+        the exact torn tail a power cut would leave.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        segment_max_bytes: int = 1 << 20,
+        fsync: bool = True,
+        chaos: Callable[[], object] | None = None,
+    ) -> None:
+        if segment_max_bytes < _HEADER_LEN:
+            raise ValueError("segment_max_bytes too small for one record")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_max_bytes = int(segment_max_bytes)
+        self.fsync = bool(fsync)
+        self._chaos = chaos
+        self._handle = None
+        self._active: _Segment | None = None
+        self.records_appended = 0
+        self.torn_truncated = 0
+        self._segments: list[_Segment] = []
+        self.next_seq = 0
+        self._scan()
+
+    # ------------------------------------------------------------------
+    # Open-time scan and recovery
+    # ------------------------------------------------------------------
+
+    def _scan(self) -> None:
+        paths = sorted(self.directory.glob("wal-*.seg"))
+        segments: list[_Segment] = []
+        for path in paths:
+            try:
+                index = int(path.stem.split("-", 1)[1])
+            except (IndexError, ValueError):
+                raise WALError(f"{path}: not a WAL segment name")
+            segments.append(_Segment(path, index))
+        segments.sort(key=lambda segment: segment.index)
+        expected_seq: int | None = None
+        for position, segment in enumerate(segments):
+            final = position == len(segments) - 1
+            blob = segment.path.read_bytes()
+            records, good_end, torn = _parse_segment(
+                blob, segment.path, final=final
+            )
+            if torn:
+                # Unacknowledged partial frame from a crash mid-append:
+                # drop it so the segment ends on a record boundary.
+                with open(segment.path, "r+b") as handle:
+                    handle.truncate(good_end)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self.torn_truncated += torn
+            for seq, _, _ in records:
+                if expected_seq is not None and seq != expected_seq:
+                    raise WALError(
+                        f"{segment.path}: sequence break (record {seq}, "
+                        f"expected {expected_seq})"
+                    )
+                expected_seq = seq + 1
+            if records:
+                segment.first_seq = records[0][0]
+                segment.last_seq = records[-1][0]
+            segment.size = good_end
+        # Keep every segment file we saw (an all-torn final segment
+        # stays as an empty file and is simply appended to).
+        self._segments = segments
+        self.next_seq = expected_seq if expected_seq is not None else 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(segment.size for segment in self._segments)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def _open_segment(self) -> None:
+        index = self._segments[-1].index + 1 if self._segments else 0
+        path = self.directory / f"wal-{index:08d}.seg"
+        segment = _Segment(path, index)
+        self._segments.append(segment)
+        self._handle = open(path, "ab")
+        self._active = segment
+
+    def _active_handle(self):
+        if self._handle is None:
+            if (
+                self._segments
+                and self._segments[-1].size < self.segment_max_bytes
+            ):
+                self._active = self._segments[-1]
+                self._handle = open(self._active.path, "ab")
+            else:
+                self._open_segment()
+        return self._handle
+
+    def append(self, record: object) -> int:
+        """Durably append one record; returns its sequence number.
+
+        The frame is fully written and (by default) fsynced before the
+        sequence number is returned — a record whose append returned is
+        guaranteed to survive a crash and be replayed.
+        """
+        seq = self.next_seq
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        frame = _frame(seq, payload)
+        directive = self._chaos() if self._chaos is not None else None
+        if directive is not None and getattr(directive, "action", None) == "hang":
+            time.sleep(getattr(directive, "delay_s", 0.0))
+            directive = None
+        handle = self._active_handle()
+        if directive is not None and getattr(directive, "action", None) == "kill":
+            # Simulate a power cut mid-append: half the frame reaches
+            # the disk, then the process dies. Recovery must truncate
+            # this torn tail and re-read the batch from the source.
+            handle.write(frame[: max(1, len(frame) // 2)])
+            handle.flush()
+            os.fsync(handle.fileno())
+            os._exit(17)
+        handle.write(frame)
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        active = self._active
+        if active.first_seq is None:
+            active.first_seq = seq
+        active.last_seq = seq
+        active.size += len(frame)
+        self.next_seq = seq + 1
+        self.records_appended += 1
+        if active.size >= self.segment_max_bytes:
+            self._close_handle()
+        return seq
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._active = None
+
+    # ------------------------------------------------------------------
+    # Replay and truncation
+    # ------------------------------------------------------------------
+
+    def replay(self, after_seq: int = -1) -> Iterator[tuple[int, object]]:
+        """Yield ``(seq, record)`` for every record with ``seq > after_seq``."""
+        for position, segment in enumerate(self._segments):
+            if segment.last_seq is None or segment.last_seq <= after_seq:
+                continue
+            blob = segment.path.read_bytes()
+            records, _, torn = _parse_segment(
+                blob, segment.path, final=position == len(self._segments) - 1
+            )
+            if torn:  # pragma: no cover - scan already truncated tails
+                raise WALError(f"{segment.path}: torn record during replay")
+            for seq, start, length in records:
+                if seq <= after_seq:
+                    continue
+                yield seq, pickle.loads(blob[start : start + length])
+
+    def truncate_through(self, seq: int) -> int:
+        """Unlink segments whose records are all ``<= seq``.
+
+        Called after a checkpoint covering ``seq`` is durable: the
+        checkpoint now owns that history, so whole segments behind it
+        are dropped.  The active (last) segment is never removed — the
+        next append continues it.  Returns the number of segments
+        removed.
+        """
+        removed = 0
+        keep: list[_Segment] = []
+        for position, segment in enumerate(self._segments):
+            last = len(self._segments) - 1
+            covered = segment.last_seq is not None and segment.last_seq <= seq
+            if covered and position < last:
+                segment.path.unlink()
+                removed += 1
+            else:
+                keep.append(segment)
+        self._segments = keep
+        return removed
+
+    def close(self) -> None:
+        self._close_handle()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

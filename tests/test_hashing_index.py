@@ -163,3 +163,46 @@ class TestMultiIndexAdd:
         fresh = MultiIndexHash(hashes)
         for query in hashes[::11]:
             assert fresh.query(int(query), 4) == index.query(int(query), 4)
+
+    def test_add_empty_to_empty_index_is_noop(self):
+        index = MultiIndexHash(np.empty(0, dtype=np.uint64))
+        index.add(np.empty(0, dtype=np.uint64))
+        assert len(index) == 0
+        assert index.query(0, 8) == []
+
+    def test_add_empty_preserves_queries_bit_identically(self):
+        rng = np.random.default_rng(15)
+        hashes = rng.integers(0, 2**64, size=60, dtype=np.uint64)
+        index = MultiIndexHash(hashes)
+        before = [index.query_indices(int(q), 8) for q in hashes[::7]]
+        index.add(np.empty(0, dtype=np.uint64))
+        after = [index.query_indices(int(q), 8) for q in hashes[::7]]
+        for row_before, row_after in zip(before, after):
+            assert np.array_equal(row_before, row_after)
+
+    def test_add_duplicate_values_matches_fresh_build(self):
+        rng = np.random.default_rng(14)
+        base = rng.integers(0, 2**64, size=120, dtype=np.uint64)
+        # The delta repeats already-indexed hashes *and* contains
+        # internal duplicates — the streaming ingester feeds exactly
+        # this shape, so the grown index must stay bit-identical to a
+        # fresh build over the concatenation.
+        delta = np.concatenate([base[::17], base[::17], base[:3]])
+        grown = MultiIndexHash(base)
+        grown.add(delta)
+        fresh = MultiIndexHash(np.concatenate([base, delta]))
+        assert np.array_equal(grown.hashes, fresh.hashes)
+        for query in np.concatenate([base[::29], delta[:5]]):
+            for radius in (0, 4, 8):
+                assert np.array_equal(
+                    grown.query_indices(int(query), radius),
+                    fresh.query_indices(int(query), radius),
+                )
+
+    def test_duplicate_values_all_reported_at_distance_zero(self):
+        value = np.uint64(0xDEADBEEFCAFEF00D)
+        hashes = np.array([value, 1, value, 2, value], dtype=np.uint64)
+        index = MultiIndexHash(hashes[:2])
+        index.add(hashes[2:])
+        hits = index.query(int(value), 0)
+        assert sorted(hits) == [(0, 0), (2, 0), (4, 0)]

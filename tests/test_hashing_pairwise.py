@@ -193,6 +193,39 @@ class TestIncrementalNeighbors:
         for row_patched, row_cold in zip(patched, rows):
             assert np.array_equal(row_patched, row_cold)
 
+    def test_patch_empty_delta_on_empty_prev(self):
+        patched = patch_radius_neighbors(
+            np.empty(0, dtype=np.uint64), [], np.empty(0, dtype=np.uint64), 4
+        )
+        assert patched == []
+
+    def test_patch_empty_delta_canonicalizes_dtype(self):
+        hashes = clustered_hashes(6, 3, seed=8)
+        rows = [row.astype(np.int32) for row in self._cold(hashes, 2)]
+        patched = patch_radius_neighbors(
+            hashes, rows, np.empty(0, dtype=np.uint64), 2
+        )
+        assert all(row.dtype == np.int64 for row in patched)
+        for row_patched, row_cold in zip(patched, self._cold(hashes, 2)):
+            assert np.array_equal(row_patched, row_cold)
+
+    def test_patch_with_duplicate_new_hashes(self):
+        # The delta repeats prior hashes and has internal duplicates —
+        # the shape a streaming batch produces.  Bit-identity to the
+        # cold concat must survive it.
+        hashes = clustered_hashes(12, 5, seed=7)
+        prev = hashes[:30]
+        new = np.concatenate([hashes[30:45], hashes[30:40], prev[:5]])
+        combined = np.concatenate([prev, new])
+        for radius in (0, 4):
+            patched = patch_radius_neighbors(
+                prev, self._cold(prev, radius), new, radius
+            )
+            cold = self._cold(combined, radius)
+            assert len(patched) == len(cold)
+            for row_patched, row_cold in zip(patched, cold):
+                assert np.array_equal(row_patched, row_cold)
+
     def test_patch_validates_row_count(self):
         hashes = clustered_hashes(4, 2, seed=5)
         with pytest.raises(ValueError, match="rows"):

@@ -1,0 +1,90 @@
+"""Crash/recovery chaos drills through the real CLI, in subprocesses.
+
+Each drill arms a ``kill`` fault at one streaming site, runs
+``python -m repro stream``, asserts the process actually died
+(``os._exit(17)``), then resumes *without* the fault and demands the
+recovered state verify bit-identical against a cold batch run
+(``--verify-batch`` exits 4 on divergence).  The ``stream:wal`` drill is
+the torn-write satellite: the kill lands mid-append, after half a frame
+reached the disk, so recovery must truncate a genuine partial record.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+WORLD_FLAGS = [
+    "--seed", "3", "--events-unit", "8", "--noise-scale", "0.5",
+]
+
+
+def _run_stream(wal_dir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *WORLD_FLAGS,
+         "--wal-dir", str(wal_dir), *extra, "stream"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize(
+    "fault",
+    [
+        "stream:ingest@2@kill",
+        "stream:wal@2@kill",
+        "stream:compact@1@kill",
+    ],
+)
+def test_kill_resume_verifies_bit_identical(tmp_path, fault):
+    killed = _run_stream(tmp_path, "--inject-fault", fault)
+    assert killed.returncode == 17, (killed.stdout, killed.stderr)
+    # The dead process left durable state behind for the resume to find.
+    assert any(tmp_path.glob("wal-*.seg")) or (tmp_path / "stream.ckpt").exists()
+
+    resumed = _run_stream(tmp_path, "--verify-batch")
+    assert resumed.returncode == 0, (resumed.stdout, resumed.stderr)
+    assert "recovered" in resumed.stdout
+    assert "bit-identical" in resumed.stdout
+    # The stale lock of the killed process must have been broken, and
+    # the clean exit must not leave one either.
+    assert not (tmp_path / ".lock").exists()
+
+
+def test_wal_kill_leaves_torn_tail(tmp_path):
+    """The ``stream:wal`` kill writes half a frame before dying — the
+    resume must report exactly one truncated torn tail."""
+    killed = _run_stream(tmp_path, "--inject-fault", "stream:wal@2@kill")
+    assert killed.returncode == 17, (killed.stdout, killed.stderr)
+    resumed = _run_stream(tmp_path, "--verify-batch")
+    assert resumed.returncode == 0, (resumed.stdout, resumed.stderr)
+    assert "1 torn tails truncated" in resumed.stdout
+
+
+def test_double_crash_then_resume(tmp_path):
+    """Two successive kills at different sites, then a clean resume."""
+    first = _run_stream(tmp_path, "--inject-fault", "stream:ingest@2@kill")
+    assert first.returncode == 17, (first.stdout, first.stderr)
+    second = _run_stream(tmp_path, "--inject-fault", "stream:compact@2@kill")
+    assert second.returncode == 17, (second.stdout, second.stderr)
+    resumed = _run_stream(tmp_path, "--verify-batch")
+    assert resumed.returncode == 0, (resumed.stdout, resumed.stderr)
+    assert "bit-identical" in resumed.stdout
+
+
+def test_clean_run_leaves_no_lock(tmp_path):
+    clean = _run_stream(tmp_path, "--verify-batch")
+    assert clean.returncode == 0, (clean.stdout, clean.stderr)
+    assert not (tmp_path / ".lock").exists()
+    # Compaction reclaimed everything but the active segment.
+    assert len(list(tmp_path.glob("wal-*.seg"))) == 1

@@ -1,0 +1,232 @@
+"""Segmented write-ahead log: framing, rotation, torn-tail recovery.
+
+The contract under test: every record that :meth:`WriteAheadLog.append`
+returned from is durable and replays bit-identically; a crash mid-append
+leaves a *torn tail* that reopening truncates silently (the record was
+never acknowledged); damage anywhere else — mid-file, or in a non-final
+segment — is real corruption and raises :class:`WALCorruptError`.
+"""
+
+import os
+
+import pytest
+
+from repro.stream import WALCorruptError, WALError, WriteAheadLog
+
+
+def _records(n, start=0):
+    return [{"posts": [f"event-{i}-{j}" for j in range(3)]} for i in range(start, start + n)]
+
+
+def _fill(wal, records):
+    return [wal.append(record) for record in records]
+
+
+def _segment_paths(directory):
+    return sorted(directory.glob("wal-*.seg"))
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        records = _records(5)
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            seqs = _fill(wal, records)
+            assert seqs == [0, 1, 2, 3, 4]
+            replayed = list(wal.replay())
+        assert [seq for seq, _ in replayed] == seqs
+        assert [record for _, record in replayed] == records
+
+    def test_replay_after_seq_skips_prefix(self, tmp_path):
+        records = _records(6)
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            _fill(wal, records)
+            replayed = list(wal.replay(after_seq=3))
+        assert [seq for seq, _ in replayed] == [4, 5]
+        assert [record for _, record in replayed] == records[4:]
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            _fill(wal, _records(3))
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            assert wal.next_seq == 3
+            assert wal.torn_truncated == 0
+            _fill(wal, _records(2, start=3))
+            replayed = list(wal.replay())
+        assert [seq for seq, _ in replayed] == [0, 1, 2, 3, 4]
+
+    def test_empty_directory(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            assert wal.next_seq == 0
+            assert list(wal.replay()) == []
+            assert wal.n_segments == 0
+
+    def test_fsync_append_durable(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync=True) as wal:
+            wal.append({"posts": ["durable"]})
+        with WriteAheadLog(tmp_path) as wal:
+            assert [record for _, record in wal.replay()] == [
+                {"posts": ["durable"]}
+            ]
+
+
+class TestRotation:
+    def test_rotates_past_segment_max(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_max_bytes=256, fsync=False) as wal:
+            _fill(wal, _records(8))
+            assert wal.n_segments > 1
+            replayed = list(wal.replay())
+        assert [seq for seq, _ in replayed] == list(range(8))
+
+    def test_reopen_appends_to_last_segment(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_max_bytes=1 << 20, fsync=False) as wal:
+            _fill(wal, _records(2))
+        with WriteAheadLog(tmp_path, segment_max_bytes=1 << 20, fsync=False) as wal:
+            _fill(wal, _records(1, start=2))
+            assert wal.n_segments == 1
+
+    def test_truncate_through_removes_covered_segments(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_max_bytes=256, fsync=False) as wal:
+            _fill(wal, _records(10))
+            segments_before = wal.n_segments
+            assert segments_before > 2
+            removed = wal.truncate_through(wal.next_seq - 1)
+            # Everything but the active segment is reclaimable.
+            assert removed == segments_before - 1
+            assert wal.n_segments == 1
+            assert list(wal.replay()) != []  # the last segment survives
+
+    def test_truncate_through_keeps_uncovered_segments(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_max_bytes=256, fsync=False) as wal:
+            _fill(wal, _records(10))
+            removed = wal.truncate_through(0)
+            assert removed == 0
+            assert [seq for seq, _ in wal.replay()] == list(range(10))
+
+    def test_replay_survives_truncation(self, tmp_path):
+        records = _records(10)
+        with WriteAheadLog(tmp_path, segment_max_bytes=256, fsync=False) as wal:
+            _fill(wal, records)
+            wal.truncate_through(4)
+            replayed = list(wal.replay(after_seq=4))
+        assert [record for _, record in replayed] == records[5:]
+
+
+class TestTornTail:
+    """Every flavour of crash-mid-append the reopen must absorb."""
+
+    def _tail(self, tmp_path):
+        return _segment_paths(tmp_path)[-1]
+
+    def test_torn_mid_payload_truncated(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            _fill(wal, _records(3))
+            good_end = self._tail(tmp_path).stat().st_size
+            wal.append({"posts": ["doomed"]})
+        path = self._tail(tmp_path)
+        os.truncate(path, good_end + 20)  # cut inside the last frame
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.torn_truncated == 1
+            assert wal.next_seq == 3
+            assert [seq for seq, _ in wal.replay()] == [0, 1, 2]
+        assert path.stat().st_size == good_end
+
+    def test_partial_header_tail_truncated(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            _fill(wal, _records(2))
+        path = self._tail(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(b"RWL1\x00\x01")  # 6 bytes: not even a header
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.torn_truncated == 1
+            assert [seq for seq, _ in wal.replay()] == [0, 1]
+
+    def test_zero_length_final_record(self, tmp_path):
+        # The crash hit before a single byte of the new frame landed:
+        # the file ends exactly at the last good record — a clean tail,
+        # not a torn one.
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            _fill(wal, _records(2))
+            good_end = self._tail(tmp_path).stat().st_size
+        os.truncate(self._tail(tmp_path), good_end)
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.torn_truncated == 0
+            assert wal.next_seq == 2
+
+    def test_empty_final_segment_file(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            _fill(wal, _records(2))
+        # A rotation crash can leave a fresh zero-byte segment behind.
+        next_index = len(_segment_paths(tmp_path))
+        (tmp_path / f"wal-{next_index:08d}.seg").touch()
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.next_seq == 2
+            assert [seq for seq, _ in wal.replay()] == [0, 1]
+
+    def test_checksum_corrupt_final_record_truncated(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            _fill(wal, _records(3))
+            good_end_before_last = None
+        path = self._tail(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip the final payload byte: digest breaks
+        path.write_bytes(bytes(blob))
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.torn_truncated == 1
+            assert wal.next_seq == 2
+            assert [seq for seq, _ in wal.replay()] == [0, 1]
+
+    def test_checksum_corrupt_mid_file_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            _fill(wal, _records(1))
+            first_end = self._tail(tmp_path).stat().st_size
+            _fill(wal, _records(2, start=1))
+        path = self._tail(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[first_end - 1] ^= 0xFF  # damage record 0, records 1-2 follow
+        path.write_bytes(bytes(blob))
+        with pytest.raises(WALCorruptError):
+            WriteAheadLog(tmp_path)
+
+    def test_corrupt_non_final_segment_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_max_bytes=256, fsync=False) as wal:
+            _fill(wal, _records(8))
+            assert wal.n_segments > 1
+        first = _segment_paths(tmp_path)[0]
+        blob = bytearray(first.read_bytes())
+        blob[-1] ^= 0xFF  # even a *tail* tear is fatal off the last segment
+        first.write_bytes(bytes(blob))
+        with pytest.raises(WALCorruptError):
+            WriteAheadLog(tmp_path)
+
+    def test_bad_magic_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            _fill(wal, _records(1))
+            _fill(wal, _records(1, start=1))
+        path = self._tail(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[0] ^= 0xFF  # first record's magic: structural corruption
+        path.write_bytes(bytes(blob))
+        with pytest.raises(WALCorruptError):
+            WriteAheadLog(tmp_path)
+
+    def test_sequence_gap_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_max_bytes=256, fsync=False) as wal:
+            _fill(wal, _records(10))
+            assert wal.n_segments > 2
+        middle = _segment_paths(tmp_path)[1]
+        middle.unlink()
+        with pytest.raises(WALError):
+            WriteAheadLog(tmp_path)
+
+    def test_torn_then_append_continues_cleanly(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            _fill(wal, _records(2))
+            good_end = self._tail(tmp_path).stat().st_size
+            wal.append({"posts": ["doomed"]})
+        os.truncate(self._tail(tmp_path), good_end + 10)
+        with WriteAheadLog(tmp_path, fsync=False) as wal:
+            assert wal.next_seq == 2
+            wal.append({"posts": ["replacement"]})
+            replayed = list(wal.replay())
+        assert [seq for seq, _ in replayed] == [0, 1, 2]
+        assert replayed[-1][1] == {"posts": ["replacement"]}
