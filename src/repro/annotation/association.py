@@ -13,7 +13,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.hashing.index import MultiIndexHash
+# hashing before matcher: matcher pulls in annotation.kym, whose import
+# must find repro.hashing already initialised (kym -> hashing ->
+# utils -> communities.world -> kym would otherwise cycle).
+from repro.hashing.index import MultiIndexHash  # noqa: F401  (cycle breaker)
+from repro.utils.bitops import popcount
 from repro.annotation.matcher import DEFAULT_THETA
 from repro.utils.parallel import (
     Executor,
@@ -29,6 +33,10 @@ from repro.utils.shm import resolve_array, shared_inputs
 __all__ = ["AssociationResult", "associate_hashes"]
 
 UNASSIGNED = -1
+
+# Elements per broadcast popcount matrix (unique hashes x medoids);
+# larger blocks verify in slices so peak memory stays bounded.
+_PAIR_BUDGET = 1 << 22
 
 
 def _merge_association_parts(
@@ -78,22 +86,33 @@ def _associate_unique_shard(
     """Nearest-medoid lookups for one shard of unique hashes.
 
     Module-level so process workers can receive pickled shards (or shm
-    descriptors); the medoid index is rebuilt per shard (it is tiny —
-    one entry per annotated cluster).
+    descriptors).  The medoid set is tiny — one entry per annotated
+    cluster — so instead of a per-hash ``MultiIndexHash.query`` Python
+    loop, each block of unique hashes is one broadcast popcount against
+    all medoids.  MIH radius queries are exact (pigeonhole), so the
+    dense minimum finds the same medoid, and ``np.argmin`` returns the
+    *first* minimum — the smallest medoid position among tied
+    distances, exactly ``min(pairs, key=lambda p: (p[1], p[0]))``, the
+    tie-break of the per-hash path (``id_array`` ascends with position,
+    so smallest position == smallest cluster id).
     """
     unique = resolve_array(unique, np.uint64)
     id_array = resolve_array(id_array, np.int64)
     medoid_array = resolve_array(medoid_array, np.uint64)
-    index = MultiIndexHash(medoid_array)
     unique_cluster = np.full(unique.size, UNASSIGNED, dtype=np.int64)
     unique_distance = np.full(unique.size, -1, dtype=np.int64)
-    for u, value in enumerate(unique):
-        pairs = index.query(int(value), theta)
-        if not pairs:
-            continue
-        best_index, best_distance = min(pairs, key=lambda p: (p[1], p[0]))
-        unique_cluster[u] = id_array[best_index]
-        unique_distance[u] = best_distance
+    if unique.size == 0 or medoid_array.size == 0:
+        return unique_cluster, unique_distance
+    step = max(1, _PAIR_BUDGET // int(medoid_array.size))
+    for lo in range(0, unique.size, step):
+        block = unique[lo : lo + step]
+        distances = popcount(block[:, None] ^ medoid_array[None, :])
+        distances[distances > theta] = 65  # > any 64-bit distance
+        best_local = np.argmin(distances, axis=1)
+        winners = distances[np.arange(block.size), best_local]
+        matched = np.flatnonzero(winners <= theta)
+        unique_cluster[lo + matched] = id_array[best_local[matched]]
+        unique_distance[lo + matched] = winners[matched]
     return unique_cluster, unique_distance
 
 

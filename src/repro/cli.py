@@ -108,7 +108,9 @@ drills, e.g.::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import warnings
 from dataclasses import replace
 from pathlib import Path
 
@@ -319,6 +321,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="transient-failure retries per request (default 2)",
     )
+    serving.add_argument(
+        "--coalesce-window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve drained requests in coalesced batches of up to N on "
+        "the vectorised classify path; 0 disables (default: the "
+        "REPRO_COALESCE_WINDOW env var, else per-request serving)",
+    )
     streaming = parser.add_argument_group(
         "stream options (durable streaming ingestion)"
     )
@@ -349,6 +360,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="events per WAL record — the append/fsync granularity "
         "(default 64)",
+    )
+    streaming.add_argument(
+        "--group-commit",
+        action="store_true",
+        default=None,
+        help="group-commit the WAL: each ingest drain is appended as one "
+        "buffered write and fsynced once (default: the "
+        "REPRO_GROUP_COMMIT env var, else per-record commits)",
     )
     streaming.add_argument(
         "--stream-events",
@@ -609,11 +628,17 @@ def _stream_command(args, parser, faults, parallel) -> int:
         limit = min(limit, args.stream_events)
     print(f"  {len(world.posts):,} posts. Streaming {limit:,} events "
           f"into {wal_dir}...\n")
+    group_commit = (
+        args.group_commit
+        if args.group_commit is not None
+        else env.get("group_commit", False)
+    )
     stream = StreamConfig(
         wal_dir=wal_dir,
         compact_threshold=threshold,
         max_buffer=args.max_buffer,
         batch_size=args.stream_batch,
+        group_commit=group_commit,
     )
     with StreamIngester(
         world, stream=stream, faults=faults, parallel=parallel
@@ -623,9 +648,13 @@ def _stream_command(args, parser, faults, parallel) -> int:
                   f"(replayed {ingester.report.replayed_events:,} from "
                   f"WAL, {ingester.report.torn_truncated} torn tails "
                   f"truncated)")
+        # Group commit amortises one fsync over a whole drain, so feed
+        # it buffer-sized bursts (several WAL records per group);
+        # per-record commits keep the one-batch-per-append cadence.
+        read_size = args.max_buffer if group_commit else args.stream_batch
         while ingester.n_events < limit:
             chunk = min(
-                args.stream_batch,
+                read_size,
                 args.max_buffer,
                 limit - ingester.n_events,
             )
@@ -766,6 +795,31 @@ def _load_stream(path) -> list:
     return items
 
 
+ENV_COALESCE_WINDOW = "REPRO_COALESCE_WINDOW"
+
+
+def _resolve_coalesce_window(args) -> int | None:
+    """``--coalesce-window``, else the env var; 0 (or unset) disables."""
+    window = args.coalesce_window
+    if window is None:
+        raw = os.environ.get(ENV_COALESCE_WINDOW)
+        if raw is None:
+            return None
+        try:
+            window = int(raw)
+        except ValueError:
+            window = -1
+        if window < 0:
+            warnings.warn(
+                f"ignoring {ENV_COALESCE_WINDOW}={raw!r} (expected a "
+                "non-negative integer); serving stays per-request",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+    return window if window > 0 else None
+
+
 def _serve_replay(world, result, args, faults, parallel=None) -> int:
     """Replay a stream through the resilience layer; 0 iff conserved."""
     from repro.service import BreakerConfig, MemeMatchService, ServiceConfig
@@ -776,6 +830,7 @@ def _serve_replay(world, result, args, faults, parallel=None) -> int:
         if args.stream
         else [post.phash for post in world.posts]
     )
+    coalesce_window = _resolve_coalesce_window(args)
     config = ServiceConfig(
         default_deadline_s=(
             args.deadline_ms / 1000.0 if args.deadline_ms else None
@@ -790,6 +845,7 @@ def _serve_replay(world, result, args, faults, parallel=None) -> int:
         ),
         breaker=None if args.no_breaker else BreakerConfig(),
         shards=parallel.shards if parallel is not None else None,
+        coalesce_window=coalesce_window,
     )
     service = MemeMatchService(result, config=config, faults=faults)
     layout = (
@@ -797,16 +853,26 @@ def _serve_replay(world, result, args, faults, parallel=None) -> int:
         if config.shards is not None
         else "monolithic"
     )
+    mode = (
+        f"coalesce={coalesce_window}"
+        if coalesce_window is not None
+        else "per-request"
+    )
     print(f"Replaying {len(stream):,} requests "
-          f"(burst={args.burst}, index={service.index_size} clusters, "
-          f"{layout})...\n")
+          f"(burst={args.burst}, {mode}, "
+          f"index={service.index_size} clusters, {layout})...\n")
     responses = []
     burst = max(1, args.burst)
     for start in range(0, len(stream), burst):
-        for payload in stream[start : start + burst]:
-            immediate = service.submit(payload)
-            if immediate is not None:
-                responses.append(immediate)
+        if coalesce_window is not None:
+            for immediate in service.submit_many(stream[start : start + burst]):
+                if immediate is not None:
+                    responses.append(immediate)
+        else:
+            for payload in stream[start : start + burst]:
+                immediate = service.submit(payload)
+                if immediate is not None:
+                    responses.append(immediate)
         responses.extend(service.drain())
     responses.extend(service.drain())
 
@@ -902,6 +968,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--stream-batch must be >= 1")
     if args.stream_events is not None and args.stream_events < 0:
         parser.error("--stream-events must be >= 0")
+    if args.coalesce_window is not None and args.coalesce_window < 0:
+        parser.error("--coalesce-window must be >= 0")
     if args.command == "cache":
         return _cache_command(args, parser)
     try:

@@ -22,8 +22,14 @@ from repro.annotation.matcher import DEFAULT_THETA
 from repro.core.results import ClusterKey, PipelineResult
 from repro.hashing.index import MultiIndexHash
 from repro.hashing.phash import phash
+from repro.utils.bitops import popcount
 
 __all__ = ["MonitorVerdict", "MemeMonitor"]
+
+# Elements per broadcast popcount matrix (unique hashes x medoids); a
+# batch with more pairs than this classifies its hashes in slices, so
+# peak memory stays bounded without changing results.
+_PAIR_BUDGET = 1 << 22
 
 
 def _validated_hash_array(hashes) -> np.ndarray:
@@ -58,21 +64,35 @@ def _validated_hash_array(hashes) -> np.ndarray:
             )
         return np.ascontiguousarray(arr, dtype=np.uint64)
     if arr.dtype == object:
-        values = np.empty(arr.size, dtype=np.uint64)
-        for index, value in enumerate(arr):
-            if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
-                raise TypeError(
-                    f"pHash at index {index} is {type(value).__name__}, "
-                    "expected an integer"
-                )
-            value = int(value)
-            if not 0 <= value < 2**64:
+        # Elementwise sweeps instead of a Python-level loop: one type
+        # sweep, one exact-integer range sweep over the prefix before
+        # the first type error (so the first offending element in
+        # *input order* still wins, whatever kind of garbage it is),
+        # then a single exact object->uint64 cast.
+        is_integer = np.frompyfunc(
+            lambda v: isinstance(v, (int, np.integer))
+            and not isinstance(v, bool),
+            1,
+            1,
+        )(arr).astype(bool)
+        type_bad = np.flatnonzero(~is_integer)
+        limit = int(type_bad[0]) if type_bad.size else arr.size
+        if limit:
+            as_int = np.frompyfunc(int, 1, 1)(arr[:limit])
+            range_bad = np.flatnonzero((as_int < 0) | (as_int >= 2**64))
+            if range_bad.size:
+                index = int(range_bad[0])
                 raise ValueError(
-                    f"pHash at index {index} ({value}) outside the unsigned "
-                    "64-bit range [0, 2**64)"
+                    f"pHash at index {index} ({int(as_int[index])}) outside "
+                    "the unsigned 64-bit range [0, 2**64)"
                 )
-            values[index] = value
-        return values
+        if type_bad.size:
+            index = limit
+            raise TypeError(
+                f"pHash at index {index} is {type(arr[index]).__name__}, "
+                "expected an integer"
+            )
+        return as_int.astype(np.uint64)
     raise TypeError(
         f"classify_batch expects integer pHashes, got dtype {arr.dtype}"
     )
@@ -143,7 +163,16 @@ class MemeMonitor:
             [annotation.medoid_hash for annotation in self._annotations],
             dtype=np.uint64,
         )
+        self._medoids = medoids
         self._index = MultiIndexHash(medoids) if medoids.size else None
+        self._racist_flags = np.array(
+            [annotation.is_racist for annotation in self._annotations],
+            dtype=bool,
+        )
+        self._politics_flags = np.array(
+            [annotation.is_politics for annotation in self._annotations],
+            dtype=bool,
+        )
 
     def __len__(self) -> int:
         """Number of known meme clusters."""
@@ -236,10 +265,72 @@ class MemeMonitor:
             and classify the garbage hash; bad elements are rejected
             here with their index instead.
         """
-        hashes = _validated_hash_array(hashes)
+        values = _validated_hash_array(hashes)
+        if values.size == 0:
+            return []
+        if self._index is None:
+            return [MonitorVerdict.no_match()] * values.size
+        unique, inverse = np.unique(values, return_inverse=True)
+        position, distance = self._nearest_medoid(unique)
+        no_match = MonitorVerdict.no_match()
+        keys = self._keys
+        annotations = self._annotations
+        racist = self._racist_flags
+        politics = self._politics_flags
+        unique_verdicts = [
+            no_match
+            if position[i] < 0
+            else MonitorVerdict(
+                matched=True,
+                cluster=keys[position[i]],
+                entry=annotations[position[i]].representative,
+                distance=int(distance[i]),
+                is_racist=bool(racist[position[i]]),
+                is_politics=bool(politics[position[i]]),
+            )
+            for i in range(unique.size)
+        ]
+        return [unique_verdicts[j] for j in inverse]
+
+    def _nearest_medoid(
+        self, unique: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Nearest annotated medoid within θ per unique hash, densely.
+
+        One broadcast popcount per block replaces a per-hash
+        ``MultiIndexHash.query`` loop.  MIH radius queries are exact
+        (pigeonhole), so the dense minimum finds the same winner, and
+        ``np.argmin`` returns the *first* minimum — the smallest medoid
+        position among tied distances, which is exactly
+        ``min(pairs, key=lambda p: (p[1], p[0]))``, the tie-break
+        :meth:`classify_hash` applies.  Returns ``(-1, -1)`` for hashes
+        with no medoid within θ.
+        """
+        medoids = self._medoids
+        best_position = np.full(unique.size, -1, dtype=np.int64)
+        best_distance = np.full(unique.size, -1, dtype=np.int64)
+        step = max(1, _PAIR_BUDGET // max(1, int(medoids.size)))
+        for lo in range(0, unique.size, step):
+            block = unique[lo : lo + step]
+            distances = popcount(block[:, None] ^ medoids[None, :])
+            distances[distances > self.theta] = 65  # > any 64-bit distance
+            best_local = np.argmin(distances, axis=1)
+            winners = distances[np.arange(block.size), best_local]
+            matched = np.flatnonzero(winners <= self.theta)
+            best_position[lo + matched] = best_local[matched]
+            best_distance[lo + matched] = winners[matched]
+        return best_position, best_distance
+
+    def _classify_batch_loop(self, values: np.ndarray) -> list[MonitorVerdict]:
+        """Memoised per-element batch path over validated hashes.
+
+        Subclass hook: :class:`~repro.index_cluster.monitor.ShardedMonitor`
+        routes batches through here so every element still takes its
+        per-request scatter/failover ladder (chaos sites included).
+        """
         cache: dict[int, MonitorVerdict] = {}
         verdicts = []
-        for value in hashes:
+        for value in values:
             key = int(value)
             verdict = cache.get(key)
             if verdict is None:

@@ -27,7 +27,11 @@ import time
 import numpy as np
 
 from repro.annotation.matcher import DEFAULT_THETA
-from repro.core.monitor import MemeMonitor, MonitorVerdict
+from repro.core.monitor import (
+    MemeMonitor,
+    MonitorVerdict,
+    _validated_hash_array,
+)
 from repro.core.results import PipelineResult
 from repro.hashing.index import MultiIndexHash
 from repro.index_cluster.placement import INDEX_CHAOS_SITES, ShardConfig
@@ -184,6 +188,18 @@ class ShardedMonitor(MemeMonitor):
             is_racist=annotation.is_racist,
             is_politics=annotation.is_politics,
         )
+
+    def classify_batch(self, hashes: np.ndarray) -> list[MonitorVerdict]:
+        """Classify many pHashes, one scatter per unique element.
+
+        Deliberately *not* the monolithic monitor's dense batch kernel:
+        each element must still take the per-request scatter/failover
+        ladder so the ``index:shard``/``index:replica`` chaos sites and
+        sticky-failover bookkeeping behave identically whether requests
+        arrive singly or coalesced.  Verdicts are bit-identical either
+        way.
+        """
+        return self._classify_batch_loop(_validated_hash_array(hashes))
 
     # -- operational surface -------------------------------------------
 

@@ -6,6 +6,9 @@
   :class:`ServiceStats` snapshot.
 * :mod:`repro.service.admission` — the bounded admission queue with
   deterministic watermark shedding.
+* :mod:`repro.service.coalescer` — request coalescing: stage single
+  submissions, serve them as batched drains on the vectorised
+  classify path.
 * :mod:`repro.service.breaker` — the closed/open/half-open circuit
   breaker with scheduled probes.
 * :mod:`repro.service.reload` — serving-index checkpoints: save,
@@ -15,6 +18,7 @@
 
 from repro.service.admission import AdmissionDecision, AdmissionQueue
 from repro.service.breaker import BreakerConfig, BreakerOpenError, CircuitBreaker
+from repro.service.coalescer import Coalescer
 from repro.service.reload import (
     INDEX_FINGERPRINT,
     IndexValidationError,
@@ -43,6 +47,7 @@ __all__ = [
     "BreakerConfig",
     "BreakerOpenError",
     "CircuitBreaker",
+    "Coalescer",
     "INDEX_FINGERPRINT",
     "IndexValidationError",
     "load_index",

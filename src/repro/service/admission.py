@@ -91,6 +91,45 @@ class AdmissionQueue:
         self.peak_depth = max(self.peak_depth, depth)
         return AdmissionDecision(True, None, depth)
 
+    def offer_many(self, items) -> list[AdmissionDecision]:
+        """Admit a burst with one bounds computation.
+
+        Decision-for-decision identical to calling :meth:`offer` per
+        item: offers only grow depth, so the burst splits into an
+        admitted prefix (up to the tighter of the two bounds) and a
+        shed suffix whose reason and reported depth are those the
+        sequential loop would produce — rejections do not change depth,
+        so every shed decision in one burst is the same decision.
+        """
+        items = list(items)
+        depth = len(self._items)
+        limit = None
+        if self.max_depth is not None:
+            limit = self.max_depth
+        if self.shed_watermark is not None:
+            limit = (
+                self.shed_watermark
+                if limit is None
+                else min(limit, self.shed_watermark)
+            )
+        capacity = (
+            len(items) if limit is None else max(0, min(len(items), limit - depth))
+        )
+        decisions: list[AdmissionDecision] = []
+        for position in range(capacity):
+            self._items.append(items[position])
+            depth += 1
+            decisions.append(AdmissionDecision(True, None, depth))
+        self.peak_depth = max(self.peak_depth, depth)
+        if capacity < len(items):
+            if self.max_depth is not None and depth >= self.max_depth:
+                reason = "queue-full"
+            else:
+                reason = "queue-watermark"
+            shed = AdmissionDecision(False, reason, depth)
+            decisions.extend([shed] * (len(items) - capacity))
+        return decisions
+
     def pop(self):
         """Dequeue the oldest item, or ``None`` when empty."""
         if not self._items:

@@ -1,0 +1,121 @@
+"""Request coalescing: stage singles, serve them as one batched drain.
+
+A moderation endpoint receives requests one at a time, but the matching
+engine's vectorised :meth:`~repro.core.monitor.MemeMonitor.classify_batch`
+amortises its fixed costs (clock reads, admission arithmetic, breaker
+checks, the Python call ladder) over a whole batch.  :class:`Coalescer`
+bridges the two shapes: :meth:`Coalescer.submit` lands each request in a
+bounded staging buffer, and once ``window`` requests are staged — or the
+caller flushes — the whole buffer is admitted in one
+:meth:`~repro.service.service.MemeMatchService.submit_many` burst and
+served by one coalesced :meth:`~repro.service.service.MemeMatchService.
+drain`.
+
+Configure the wrapped service with
+:attr:`~repro.service.service.ServiceConfig.coalesce_window` so the
+drain itself takes the batched fast path; without it the coalescer
+still amortises staging and bulk admission, but each drained request is
+classified individually.  Every request still terminates in exactly one
+accounted state — the coalescer adds no state of its own beyond the
+staging buffer, so ``service.stats`` conservation is unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.service.service import MemeMatchService, ServiceResponse
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Stage per-request submissions and serve them in coalesced drains.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.service.MemeMatchService` to feed.
+    window:
+        Staging bound: an automatic flush fires once this many requests
+        are staged.  Defaults to the service's
+        :attr:`~repro.service.service.ServiceConfig.coalesce_window`
+        when that is set, else 32.
+
+    Examples
+    --------
+    >>> # coalescer = Coalescer(service)
+    >>> # for payload in arrivals:
+    >>> #     responses.extend(coalescer.submit(payload))
+    >>> # responses.extend(coalescer.flush())
+    """
+
+    def __init__(
+        self, service: MemeMatchService, *, window: int | None = None
+    ) -> None:
+        if window is None:
+            window = service.config.coalesce_window or 32
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.service = service
+        self.window = int(window)
+        self.flushes = 0
+        self._staged: list[tuple[object, float | None]] = []
+
+    def __len__(self) -> int:
+        """Requests staged but not yet flushed."""
+        return len(self._staged)
+
+    def submit(
+        self, payload, *, deadline_s: float | None = None
+    ) -> list[ServiceResponse]:
+        """Stage one request; returns terminal responses when it flushed.
+
+        Most calls return ``[]`` (the request is staged); every
+        ``window``-th call triggers a flush and returns the whole
+        batch's terminal responses, the staged submission order
+        preserved.
+        """
+        self._staged.append((payload, deadline_s))
+        if len(self._staged) >= self.window:
+            return self.flush()
+        return []
+
+    def flush(self) -> list[ServiceResponse]:
+        """Admit and serve everything staged; terminal response per request.
+
+        Staged requests are admitted in bursts of consecutive equal
+        deadlines (``submit_many`` stamps one deadline per burst) and
+        each burst is drained before the next is admitted, so responses
+        come back in submission order.
+        """
+        staged, self._staged = self._staged, []
+        if not staged:
+            return []
+        self.flushes += 1
+        responses: list[ServiceResponse] = []
+        lo = 0
+        while lo < len(staged):
+            hi = lo + 1
+            deadline = staged[lo][1]
+            while hi < len(staged) and staged[hi][1] == deadline:
+                hi += 1
+            base = self.service._next_id
+            admitted = self.service.submit_many(
+                [payload for payload, _ in staged[lo:hi]],
+                deadline_s=deadline,
+            )
+            drained = self.service.drain()
+            # Scatter drained responses back to their staged positions
+            # by request id (submit_many assigns ``base + position``) —
+            # the drain may also have terminated requests queued
+            # outside the coalescer; those are appended after the
+            # burst rather than dropped.
+            by_id = {response.request_id: response for response in drained}
+            for position, immediate in enumerate(admitted):
+                responses.append(
+                    immediate
+                    if immediate is not None
+                    else by_id.pop(base + position)
+                )
+            responses.extend(by_id.values())
+            lo = hi
+        return responses

@@ -191,6 +191,14 @@ class ServiceConfig:
         :class:`~repro.index_cluster.monitor.ShardedMonitor` (replicated
         medoid shards with per-shard failover) instead of the monolithic
         :class:`MemeMonitor` — bit-identical verdicts either way.
+    coalesce_window:
+        When set (>= 1), :meth:`MemeMatchService.drain` processes up to
+        this many queued requests per *drain batch*: one clock read,
+        one breaker check, and one vectorised
+        :meth:`~repro.core.monitor.MemeMonitor.classify_batch` fan-in
+        per batch, with per-request outcomes scattered back (a request
+        whose deadline expires mid-batch still individually times out).
+        ``None`` keeps the per-request path.
     """
 
     theta: int | None = None
@@ -206,6 +214,11 @@ class ServiceConfig:
     jitter_seed: int = 0
     max_dead_letters: int = 1024
     shards: ShardConfig | None = None
+    coalesce_window: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.coalesce_window is not None and self.coalesce_window < 1:
+            raise ValueError("coalesce_window must be >= 1 (or None)")
 
 
 @dataclass
@@ -461,14 +474,92 @@ class MemeMatchService:
         self.stats.admitted += 1
         return None
 
+    def submit_many(
+        self, payloads: Iterable, *, deadline_s: float | None = None
+    ) -> list[ServiceResponse | None]:
+        """Admit a burst of requests with per-burst fixed costs.
+
+        The amortised twin of :meth:`submit`: one clock read stamps
+        every arrival, ids are assigned in bulk, and admission runs
+        through :meth:`AdmissionQueue.offer_many` (one watermark
+        computation, decision-identical to per-request offers).
+        Returns a list aligned with ``payloads``: the terminal SHED
+        response where a request was rejected at admission, ``None``
+        where it was queued and will terminate via :meth:`drain`.
+
+        Conservation holds at the call boundary: ``submitted`` grows by
+        ``len(payloads)``, split exactly between ``shed`` and the
+        requests now pending in the queue.
+        """
+        payloads = list(payloads)
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        arrival = self.clock()
+        base = self._next_id
+        requests = [
+            MatchRequest(
+                request_id=base + position,
+                payload=payload,
+                arrival_time=arrival,
+                deadline_s=deadline_s,
+            )
+            for position, payload in enumerate(payloads)
+        ]
+        self._next_id = base + len(requests)
+        self.stats.submitted += len(requests)
+        decisions = self._queue.offer_many(requests)
+        out: list[ServiceResponse | None] = []
+        admitted = 0
+        for request, decision in zip(requests, decisions):
+            if decision.admitted:
+                admitted += 1
+                out.append(None)
+            else:
+                out.append(
+                    ServiceResponse(
+                        request.request_id,
+                        SHED,
+                        reason=decision.reason,
+                        latency_s=0.0,
+                    )
+                )
+        self.stats.admitted += admitted
+        self.stats.shed += len(requests) - admitted
+        return out
+
     def drain(self, max_requests: int | None = None) -> list[ServiceResponse]:
-        """Process queued requests FIFO; each returns a terminal response."""
+        """Process queued requests FIFO; each returns a terminal response.
+
+        With :attr:`ServiceConfig.coalesce_window` set, requests are
+        popped in windows of up to that size and each window is served
+        by one :meth:`_process_batch` fan-in — the amortised fast path.
+        Response order is unchanged (FIFO, one terminal response per
+        request) either way.
+        """
         responses: list[ServiceResponse] = []
+        window = self.config.coalesce_window
+        if window is None:
+            while max_requests is None or len(responses) < max_requests:
+                request = self._queue.pop()
+                if request is None:
+                    break
+                responses.append(self._process(request))
+            return responses
         while max_requests is None or len(responses) < max_requests:
-            request = self._queue.pop()
-            if request is None:
+            budget = (
+                window
+                if max_requests is None
+                else min(window, max_requests - len(responses))
+            )
+            batch: list[MatchRequest] = []
+            while len(batch) < budget:
+                request = self._queue.pop()
+                if request is None:
+                    break
+                batch.append(request)
+            if not batch:
                 break
-            responses.append(self._process(request))
+            responses.extend(self._process_batch(batch))
         return responses
 
     def serve(
@@ -627,6 +718,181 @@ class MemeMatchService:
         self.stats.served += 1
         verdict: MonitorVerdict = outcome.value
         return self._response(request, OK, start, verdict=verdict, attempts=attempts)
+
+    def _process_batch(self, requests: list[MatchRequest]) -> list[ServiceResponse]:
+        """Serve one coalesced drain window; terminal response per request.
+
+        The per-request outcome ladder of :meth:`_process`, with the
+        fixed costs hoisted to per-batch: one clock read stamps the
+        drain, expiry and poison are partitioned up front, the breaker
+        is consulted once, and the survivors share one vectorised
+        ``classify_batch`` under one retry loop whose deadline is the
+        latest per-request deadline.  Outcomes scatter back per
+        request: a request whose deadline passed while the batch was
+        being classified times out individually (``expired-in-batch``)
+        even though its neighbours were served.
+
+        Divergences from the per-request path, by design: the chaos /
+        failure cadence is per batch attempt, not per request (one
+        ``serve:classify`` fire, one breaker failure record, one
+        retry schedule for the whole window), and a half-open breaker
+        falls back to per-request processing so the probe protocol is
+        unchanged.  Every request still terminates in exactly one
+        accounted state — conservation is batch-size-invariant.
+        """
+        start = self.clock()
+        n = len(requests)
+        responses: list[ServiceResponse | None] = [None] * n
+        deadlines = [
+            request.arrival_time + request.deadline_s
+            if request.deadline_s is not None
+            else None
+            for request in requests
+        ]
+
+        # 1. Requests that expired while queued.
+        live: list[int] = []
+        for position, deadline in enumerate(deadlines):
+            if deadline is not None and start > deadline:
+                self.stats.timed_out += 1
+                responses[position] = self._response(
+                    requests[position], TIMED_OUT, start, reason="expired-in-queue"
+                )
+            else:
+                live.append(position)
+        if not live:
+            return responses
+
+        # 2. Poison payloads.  Fast path: one vectorised sweep — its
+        # success implies every payload passes the scalar check with
+        # the same value.  Inputs only the scalar check accepts (e.g.
+        # integral floats) or rejects take the per-request fallback,
+        # which reproduces the scalar reasons exactly.
+        values: np.ndarray | None = None
+        try:
+            values = _validated_hash_array(
+                np.array([requests[i].payload for i in live], dtype=object)
+            )
+        except Exception:
+            values = None
+        if values is None:
+            kept: list[int] = []
+            scalars: list[int] = []
+            for position in live:
+                try:
+                    scalars.append(
+                        _validate_payload(requests[position].payload)
+                    )
+                    kept.append(position)
+                except (TypeError, ValueError) as error:
+                    responses[position] = self._dead_letter(
+                        requests[position], f"invalid-input: {error}", start
+                    )
+            live = kept
+            if not live:
+                return responses
+            values = np.array(scalars, dtype=np.uint64)
+
+        # 3. One breaker read for the whole batch.
+        if self.breaker is not None:
+            if not self.breaker.allow():
+                self.stats.shed += len(live)
+                self.stats.breaker_fast_fails += len(live)
+                for position in live:
+                    responses[position] = self._response(
+                        requests[position], SHED, start, reason="breaker-open"
+                    )
+                return responses
+            if self.breaker.probing:
+                # Half-open: probes are a per-request protocol (each
+                # allow() admits one probe); coalescing them would turn
+                # one success into len(live) recoveries.
+                for position in live:
+                    responses[position] = self._process(requests[position])
+                return responses
+
+        # 4. One vectorised classify under one retry loop.
+        monitor = self._monitor  # one atomic read: reloads never tear a batch
+        batch_deadline = None
+        if all(deadlines[i] is not None for i in live):
+            batch_deadline = max(deadlines[i] for i in live)
+        attempts = 0
+
+        def attempt() -> list[MonitorVerdict]:
+            nonlocal attempts
+            attempts += 1
+            self._fire("serve:classify")
+            return monitor.classify_batch(values)
+
+        try:
+            outcome = retry_call(
+                attempt,
+                self.config.retry,
+                sleep=self._sleep,
+                rng=self._rng,
+                clock=self.clock,
+                deadline=batch_deadline,
+            )
+        except DeadlineExceeded as error:
+            # batch_deadline is the max per-request deadline, so its
+            # expiry implies every live request's deadline passed too.
+            self.stats.retries += max(0, attempts - 1)
+            self.stats.timed_out += len(live)
+            for position in live:
+                responses[position] = self._response(
+                    requests[position],
+                    TIMED_OUT,
+                    start,
+                    reason=str(error),
+                    attempts=attempts,
+                )
+            return responses
+        except (TypeError, ValueError) as error:
+            self.stats.retries += max(0, attempts - 1)
+            for position in live:
+                responses[position] = self._dead_letter(
+                    requests[position], f"rejected: {error}", start, attempts
+                )
+            return responses
+        except Exception as error:
+            self.stats.retries += max(0, attempts - 1)
+            self._record_breaker_failure()
+            reason = f"classify-failed: {type(error).__name__}: {error}"
+            for position in live:
+                responses[position] = self._dead_letter(
+                    requests[position], reason, start, attempts
+                )
+            return responses
+        self.stats.retries += max(0, attempts - 1)
+        if self.breaker is not None:
+            self.breaker.record_success()
+
+        # 5. Scatter verdicts back, re-checking each deadline once.
+        verdicts: list[MonitorVerdict] = outcome.value
+        now = self.clock()
+        served = 0
+        for position, verdict in zip(live, verdicts):
+            deadline = deadlines[position]
+            if deadline is not None and now > deadline:
+                self.stats.timed_out += 1
+                responses[position] = self._response(
+                    requests[position],
+                    TIMED_OUT,
+                    start,
+                    reason="expired-in-batch",
+                    attempts=attempts,
+                )
+            else:
+                served += 1
+                responses[position] = self._response(
+                    requests[position],
+                    OK,
+                    start,
+                    verdict=verdict,
+                    attempts=attempts,
+                )
+        self.stats.served += served
+        return responses
 
     def _record_breaker_failure(self) -> None:
         if self.breaker is not None:

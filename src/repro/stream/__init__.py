@@ -11,6 +11,7 @@ bit-identical to a cold batch run over the same event prefix.
 from repro.stream.config import (
     DEFAULT_COMPACT_THRESHOLD,
     ENV_COMPACT_THRESHOLD,
+    ENV_GROUP_COMMIT,
     ENV_WAL_DIR,
     StreamConfig,
     stream_config_from_env,
@@ -22,6 +23,7 @@ from repro.stream.wal import WALCorruptError, WALError, WriteAheadLog
 __all__ = [
     "DEFAULT_COMPACT_THRESHOLD",
     "ENV_COMPACT_THRESHOLD",
+    "ENV_GROUP_COMMIT",
     "ENV_WAL_DIR",
     "EventSource",
     "PrefixWorld",

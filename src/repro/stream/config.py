@@ -18,6 +18,7 @@ from pathlib import Path
 __all__ = [
     "DEFAULT_COMPACT_THRESHOLD",
     "ENV_COMPACT_THRESHOLD",
+    "ENV_GROUP_COMMIT",
     "ENV_WAL_DIR",
     "StreamConfig",
     "stream_config_from_env",
@@ -25,6 +26,7 @@ __all__ = [
 
 ENV_WAL_DIR = "REPRO_WAL_DIR"
 ENV_COMPACT_THRESHOLD = "REPRO_COMPACT_THRESHOLD"
+ENV_GROUP_COMMIT = "REPRO_GROUP_COMMIT"
 
 DEFAULT_COMPACT_THRESHOLD = 0.1
 
@@ -65,6 +67,13 @@ class StreamConfig:
         to the refit.
     fsync:
         Fsync every WAL append (durability; tests may disable).
+    group_commit:
+        Drain the whole admission buffer as one WAL commit group —
+        every ``batch_size`` chunk becomes a frame, the group is one
+        buffered write plus one fsync, and no batch is applied until
+        the group's fsync returns.  The durability contract is
+        unchanged (a crash mid-group truncates the whole group on
+        recovery); only the fixed fsync cost is amortised.
     """
 
     wal_dir: str | Path
@@ -77,6 +86,7 @@ class StreamConfig:
     hawkes_window_days: float | None = None
     hawkes_min_events: int = 10
     fsync: bool = True
+    group_commit: bool = False
 
     def __post_init__(self) -> None:
         if not (self.compact_threshold > 0 and math.isfinite(self.compact_threshold)):
@@ -98,7 +108,8 @@ class StreamConfig:
 
 
 def stream_config_from_env(env: dict | None = None) -> dict:
-    """Resolve ``REPRO_WAL_DIR`` / ``REPRO_COMPACT_THRESHOLD``.
+    """Resolve ``REPRO_WAL_DIR`` / ``REPRO_COMPACT_THRESHOLD`` /
+    ``REPRO_GROUP_COMMIT``.
 
     Returns a partial kwargs dict for :class:`StreamConfig` holding
     only the values that resolved cleanly.  Malformed values warn
@@ -150,4 +161,19 @@ def stream_config_from_env(env: dict | None = None) -> dict:
             )
         else:
             resolved["compact_threshold"] = value
+    raw = env.get(ENV_GROUP_COMMIT)
+    if raw is not None:
+        lowered = raw.strip().lower()
+        if lowered in {"1", "true", "yes", "on"}:
+            resolved["group_commit"] = True
+        elif lowered in {"0", "false", "no", "off"}:
+            resolved["group_commit"] = False
+        else:
+            warnings.warn(
+                f"ignoring malformed {ENV_GROUP_COMMIT}={raw!r} "
+                "(expected a boolean like 1/0/true/false); falling back "
+                "to per-batch commits",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return resolved

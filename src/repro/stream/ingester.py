@@ -3,9 +3,14 @@
 :class:`StreamIngester` consumes an unbounded post stream (a
 :class:`repro.stream.EventSource` cursor) and maintains the pipeline's
 index/cluster/association state online, on top of the incremental
-primitives the batch runner already trusts
-(:func:`repro.hashing.pairwise.merge_radius_neighbors`, suffix-only
-association, deterministic DBSCAN re-derivation).
+primitives the batch runner already trusts (persistent per-community
+:class:`~repro.hashing.index.MultiIndexHash` neighbourhood maintenance
+— the same delta queries as
+:func:`repro.hashing.pairwise.patch_radius_neighbors`, kept in append
+order so per-batch work is O(new), with the sorted
+:func:`~repro.hashing.pairwise.radius_neighbors` form re-derived by one
+vectorised remap at compaction — suffix-only association, deterministic
+DBSCAN re-derivation).
 
 The durability protocol, in order, for every event batch:
 
@@ -44,7 +49,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
@@ -57,7 +62,7 @@ from repro.annotation.association import (
 from repro.annotation.matcher import annotate_clusters
 from repro.clustering.dbscan import dbscan, dbscan_from_neighbors
 from repro.clustering.medoid import medoids_by_cluster
-from repro.communities.models import COMMUNITIES, FRINGE_COMMUNITIES
+from repro.communities.models import COMMUNITIES, FRINGE_COMMUNITIES, Post
 from repro.core.config import PipelineConfig
 from repro.core.results import (
     ClusterKey,
@@ -65,7 +70,7 @@ from repro.core.results import (
     PipelineResult,
 )
 from repro.core.runner import build_occurrence_table
-from repro.hashing.pairwise import merge_radius_neighbors
+from repro.hashing.index import MultiIndexHash
 from repro.hawkes.fit import FitConfig, fit_hawkes_em
 from repro.hawkes.model import EventSequence
 from repro.service.admission import AdmissionQueue
@@ -178,6 +183,62 @@ def state_equals(a: PipelineResult, b: PipelineResult) -> bool:
     )
 
 
+def _encode_posts(
+    posts: list, phash: np.ndarray, timestamp: np.ndarray
+) -> dict:
+    """Columnar checkpoint form of the post list.
+
+    One list/array per field pickles orders of magnitude flatter than
+    one frozen dataclass instance per post; the maintained phash /
+    timestamp columns ride along as-is.
+    """
+    return {
+        "phash": phash,
+        "timestamp": timestamp,
+        "community": [post.community for post in posts],
+        "image_id": [post.image_id for post in posts],
+        "score": [post.score for post in posts],
+        "subreddit": [post.subreddit for post in posts],
+        "template_name": [post.template_name for post in posts],
+        "root_community": [post.root_community for post in posts],
+    }
+
+
+def _decode_posts(columns: dict) -> list:
+    """Inverse of :func:`_encode_posts` — rebuilds the ``Post`` list."""
+    return [
+        Post(
+            community=community,
+            timestamp=float(timestamp),
+            phash=np.uint64(phash),
+            image_id=image_id,
+            score=score,
+            subreddit=subreddit,
+            template_name=template_name,
+            root_community=root_community,
+        )
+        for (
+            community,
+            timestamp,
+            phash,
+            image_id,
+            score,
+            subreddit,
+            template_name,
+            root_community,
+        ) in zip(
+            columns["community"],
+            columns["timestamp"],
+            columns["phash"],
+            columns["image_id"],
+            columns["score"],
+            columns["subreddit"],
+            columns["template_name"],
+            columns["root_community"],
+        )
+    ]
+
+
 class StreamIngester:
     """WAL-backed online pipeline state over an unbounded post stream.
 
@@ -229,15 +290,33 @@ class StreamIngester:
         )
         # --- online state ---
         self.posts: list = []
-        self._unique: dict[str, np.ndarray] = {
+        # Maintained post columns (phash / timestamp), appended per
+        # batch so compaction and the Hawkes window never rebuild them
+        # with a per-post Python scan.
+        self._phash_all = np.empty(0, dtype=np.uint64)
+        self._ts_all = np.empty(0, dtype=np.float64)
+        # Per-community neighbourhood state in *append* (first-seen)
+        # order: a persistent MultiIndexHash answers delta queries per
+        # batch in O(new), exactly patch_radius_neighbors' contract; the
+        # sorted radius_neighbors form the clustering needs is
+        # re-derived by one vectorised remap in _sorted_view().
+        self._nbr_hashes: dict[str, np.ndarray] = {
             c: np.empty(0, dtype=np.uint64) for c in FRINGE_COMMUNITIES
         }
-        self._counts: dict[str, np.ndarray] = {
+        self._nbr_counts: dict[str, np.ndarray] = {
             c: np.empty(0, dtype=np.int64) for c in FRINGE_COMMUNITIES
         }
-        self._neighbors: dict[str, list[np.ndarray]] = {
+        self._nbr_rows: dict[str, list[np.ndarray]] = {
             c: [] for c in FRINGE_COMMUNITIES
         }
+        self._nbr_index: dict[str, MultiIndexHash] = {
+            c: MultiIndexHash(np.empty(0, dtype=np.uint64))
+            for c in FRINGE_COMMUNITIES
+        }
+        self._nbr_pos: dict[str, dict[int, int]] = {
+            c: {} for c in FRINGE_COMMUNITIES
+        }
+        self._annotation_memo: dict[int, object] = {}
         self._screenshot: dict | None = None
         self._clusterings: dict[str, CommunityClustering] | None = None
         self._annotations: dict[ClusterKey, object] = {}
@@ -246,6 +325,12 @@ class StreamIngester:
         self._assoc_ids = np.empty(0, dtype=np.int64)
         self._assoc_dists = np.empty(0, dtype=np.int64)
         self._hawkes = None
+        # Lazy Hawkes: automatic compactions only mark the fit stale
+        # (the model is not part of the streamed-equals-batch invariant
+        # and nothing reads it between compactions); the deterministic
+        # fit over posts[:compact_base_events] is materialised by
+        # forced compactions and hawkes_model reads.
+        self._hawkes_fitted = True
         self._applied_seq = -1
         self._compact_base_events = 0
         self._compact_base_unique = 0
@@ -276,7 +361,7 @@ class StreamIngester:
         """
         world_config = getattr(self.world, "config", None)
         return (
-            "stream-v1|"
+            "stream-v2|"
             f"seed={getattr(world_config, 'seed', None)}"
             f",events_unit={getattr(world_config, 'events_unit', None)}"
             f",noise_scale={getattr(world_config, 'noise_scale', None)}"
@@ -329,10 +414,32 @@ class StreamIngester:
             self.report.recoveries = 1
 
     def _restore(self, payload: dict) -> None:
-        self.posts = list(payload["posts"])
-        self._unique = payload["unique"]
-        self._counts = payload["counts"]
-        self._neighbors = payload["neighbors"]
+        self.posts = _decode_posts(payload["posts"])
+        self._phash_all = np.ascontiguousarray(
+            payload["posts"]["phash"], dtype=np.uint64
+        )
+        self._ts_all = np.ascontiguousarray(
+            payload["posts"]["timestamp"], dtype=np.float64
+        )
+        for community in FRINGE_COMMUNITIES:
+            state = payload["neighbor_state"][community]
+            hashes = np.ascontiguousarray(state["hashes"], dtype=np.uint64)
+            flat = np.ascontiguousarray(state["flat"], dtype=np.int64)
+            lengths = np.ascontiguousarray(state["lengths"], dtype=np.int64)
+            self._nbr_hashes[community] = hashes
+            self._nbr_counts[community] = np.ascontiguousarray(
+                state["counts"], dtype=np.int64
+            )
+            self._nbr_rows[community] = (
+                np.split(flat, np.cumsum(lengths)[:-1])
+                if lengths.size
+                else []
+            )
+            self._nbr_index[community] = MultiIndexHash(hashes)
+            self._nbr_pos[community] = {
+                int(value): position
+                for position, value in enumerate(hashes)
+            }
         self._screenshot = payload["screenshot"]
         self._clusterings = payload["clusterings"]
         self._annotations = payload["annotations"]
@@ -341,10 +448,15 @@ class StreamIngester:
         self._assoc_ids = payload["assoc_ids"]
         self._assoc_dists = payload["assoc_dists"]
         self._hawkes = payload["hawkes"]
+        self._hawkes_fitted = bool(payload["hawkes_fitted"])
         self._applied_seq = int(payload["applied_seq"])
         self._compact_base_events = int(payload["compact_base_events"])
         self._compact_base_unique = int(payload["compact_base_unique"])
         self._new_unique = int(payload["new_unique"])
+        self._annotation_memo = {
+            int(annotation.medoid_hash): annotation
+            for annotation in self._annotations.values()
+        }
         if self._screenshot is not None:
             self._replay_gallery_flags(self._screenshot)
 
@@ -422,35 +534,74 @@ class StreamIngester:
         return {"admitted": admitted, "shed": shed}
 
     def _drain(self) -> None:
-        while len(self.buffer):
-            batch = []
-            while len(batch) < self.stream.batch_size:
-                item = self.buffer.pop()
-                if item is None:
+        if self.stream.group_commit:
+            self._drain_grouped()
+        else:
+            while len(self.buffer):
+                batch = self._pop_batch()
+                if not batch:
                     break
-                batch.append(item)
-            if not batch:
-                break
-            self._fire("stream:ingest")
-            # Durability before application: the WAL append (fsynced)
-            # must land before any in-memory state changes, so a crash
-            # between the two replays the batch instead of losing it.
-            seq = self.wal.append({"posts": batch})
-            self.report.wal_records += 1
-            self._apply_batch(batch, seq)
+                self._fire("stream:ingest")
+                # Durability before application: the WAL append (fsynced)
+                # must land before any in-memory state changes, so a crash
+                # between the two replays the batch instead of losing it.
+                seq = self.wal.append({"posts": batch})
+                self.report.wal_records += 1
+                self._apply_batch(batch, seq)
         self.report.wal_segments = self.wal.n_segments
         self.report.wal_bytes = self.wal.total_bytes
         self.report.drift = min(self.drift(), float(len(self.posts)))
 
+    def _pop_batch(self) -> list:
+        batch = []
+        while len(batch) < self.stream.batch_size:
+            item = self.buffer.pop()
+            if item is None:
+                break
+            batch.append(item)
+        return batch
+
+    def _drain_grouped(self) -> None:
+        """Group-commit drain: the whole buffer, one WAL fsync.
+
+        Every ``batch_size`` chunk still becomes its own WAL record (so
+        replay and apply granularity are unchanged), but the records go
+        down as one commit group — a single buffered write and a single
+        fsync.  *No* batch is applied until the group's fsync returns:
+        the durable prefix still leads the applied prefix, and a crash
+        mid-group truncates the whole group on recovery, replaying
+        nothing of it — the events were never acknowledged.
+
+        The ``stream:ingest`` chaos site fires once per chunk before
+        the group write, preserving the per-batch visit cadence of the
+        ungrouped path.
+        """
+        chunks = []
+        while len(self.buffer):
+            batch = self._pop_batch()
+            if not batch:
+                break
+            chunks.append(batch)
+        if not chunks:
+            return
+        for _ in chunks:
+            self._fire("stream:ingest")
+        seqs = self.wal.append_many([{"posts": batch} for batch in chunks])
+        self.report.wal_records += len(chunks)
+        for batch, seq in zip(chunks, seqs):
+            self._apply_batch(batch, seq)
+
     def _apply_batch(self, batch: list, seq: int) -> None:
         """Apply one durable batch to the online state.
 
-        Per fringe community: merge the batch's new unique hashes into
-        the maintained neighbourhoods
-        (:func:`repro.hashing.pairwise.merge_radius_neighbors`, bit-
-        identical to a cold recompute) and bump multiplicities.  All
-        posts get suffix association against the frozen medoid set from
-        the last compaction.
+        Per fringe community: index the batch's new unique hashes into
+        the persistent :class:`MultiIndexHash` and extend the
+        append-order neighbourhood rows with the same delta queries as
+        :func:`repro.hashing.pairwise.patch_radius_neighbors` (so the
+        pair set stays bit-identical to a cold recompute), then bump
+        multiplicities.  Per-batch work is O(new hashes), not O(corpus).
+        All posts get suffix association against the frozen medoid set
+        from the last compaction.
         """
         self.posts.extend(batch)
         eps = self.config.clustering_eps
@@ -462,26 +613,46 @@ class StreamIngester:
             if hashes.size == 0:
                 continue
             unique, multiplicities = np.unique(hashes, return_counts=True)
-            added = unique[~np.isin(unique, self._unique[community])]
+            positions = self._nbr_pos[community]
+            known = np.fromiter(
+                (int(value) in positions for value in unique),
+                dtype=bool,
+                count=unique.size,
+            )
+            added = unique[~known]
             if added.size:
-                merged, neighbors = merge_radius_neighbors(
-                    self._unique[community],
-                    self._neighbors[community],
-                    added,
-                    eps,
+                index = self._nbr_index[community]
+                rows = self._nbr_rows[community]
+                n_prev = self._nbr_hashes[community].size
+                index.add(added)
+                additions: dict[int, list[int]] = {}
+                for j in range(added.size):
+                    row = index.query_indices(int(added[j]), eps)
+                    rows.append(row)
+                    for i in row[row < n_prev].tolist():
+                        additions.setdefault(i, []).append(n_prev + j)
+                for i, extra in additions.items():
+                    rows[i] = np.concatenate(
+                        [rows[i], np.asarray(extra, dtype=np.int64)]
+                    )
+                for j, value in enumerate(added):
+                    positions[int(value)] = n_prev + j
+                self._nbr_hashes[community] = np.concatenate(
+                    [self._nbr_hashes[community], added]
                 )
-                counts = np.zeros(merged.size, dtype=np.int64)
-                if self._unique[community].size:
-                    counts[
-                        np.searchsorted(merged, self._unique[community])
-                    ] = self._counts[community]
-                self._unique[community] = merged
-                self._counts[community] = counts
-                self._neighbors[community] = neighbors
+                self._nbr_counts[community] = np.concatenate(
+                    [
+                        self._nbr_counts[community],
+                        np.zeros(added.size, dtype=np.int64),
+                    ]
+                )
                 self._new_unique += int(added.size)
-            self._counts[community][
-                np.searchsorted(self._unique[community], unique)
-            ] += multiplicities
+            bump = np.fromiter(
+                (positions[int(value)] for value in unique),
+                dtype=np.int64,
+                count=unique.size,
+            )
+            self._nbr_counts[community][bump] += multiplicities
         batch_hashes = np.array(
             [post.phash for post in batch], dtype=np.uint64
         )
@@ -493,6 +664,13 @@ class StreamIngester:
         else:
             ids = np.full(batch_hashes.size, UNASSIGNED, dtype=np.int64)
             dists = np.full(batch_hashes.size, -1, dtype=np.int64)
+        self._phash_all = np.concatenate([self._phash_all, batch_hashes])
+        self._ts_all = np.concatenate(
+            [
+                self._ts_all,
+                np.array([post.timestamp for post in batch], dtype=np.float64),
+            ]
+        )
         self._assoc_ids = np.concatenate([self._assoc_ids, ids])
         self._assoc_dists = np.concatenate([self._assoc_dists, dists])
         self._applied_seq = seq
@@ -507,12 +685,17 @@ class StreamIngester:
         """Promote fresh state and truncate the durable history.
 
         Full re-cluster from the maintained neighbourhoods, fresh
-        annotation, full re-association against the promoted medoids,
-        sliding-window Hawkes refit, then a durable checkpoint followed
-        by WAL segment truncation — in that order, so a crash anywhere
-        leaves either the old checkpoint + full WAL or the new
-        checkpoint (+ possibly untruncated segments, which replay as
-        no-ops past ``applied_seq``).
+        annotation (memoised per medoid hash — the lookup is a pure
+        function of the hash given a fixed site/θ/exclude set), full
+        re-association against the promoted medoids, then a durable
+        checkpoint followed by WAL segment truncation — in that order,
+        so a crash anywhere leaves either the old checkpoint + full WAL
+        or the new checkpoint (+ possibly untruncated segments, which
+        replay as no-ops past ``applied_seq``).  The sliding-window
+        Hawkes refit is eager on forced compactions and deferred to the
+        first :attr:`hawkes_model` read otherwise (the fit is
+        deterministic over the compacted prefix, so laziness cannot
+        change the model).
 
         Returns ``True`` when a compaction ran.
         """
@@ -536,11 +719,8 @@ class StreamIngester:
         annotations: dict[ClusterKey, object] = {}
         cluster_keys: list[ClusterKey] = []
         for community in FRINGE_COMMUNITIES:
-            community_annotations = annotate_clusters(
-                clusterings[community].medoids,
-                self.world.kym_site,
-                theta=self.config.theta,
-                exclude_screenshots=exclude,
+            community_annotations = self._annotate_community(
+                clusterings[community].medoids, exclude
             )
             for cluster_id, annotation in sorted(community_annotations.items()):
                 key = ClusterKey(community, cluster_id)
@@ -550,11 +730,8 @@ class StreamIngester:
             index: int(annotations[key].medoid_hash)
             for index, key in enumerate(cluster_keys)
         }
-        all_hashes = np.array(
-            [post.phash for post in self.posts], dtype=np.uint64
-        )
         association = associate_hashes(
-            all_hashes,
+            self._phash_all,
             medoid_by_global,
             theta=self.config.theta,
             parallel=self.parallel,
@@ -565,12 +742,21 @@ class StreamIngester:
         self._medoid_by_global = medoid_by_global
         self._assoc_ids = association.cluster_ids
         self._assoc_dists = association.distances
-        self._refit_hawkes()
         self._compact_base_events = len(self.posts)
         self._compact_base_unique = int(
-            sum(unique.size for unique in self._unique.values())
+            sum(hashes.size for hashes in self._nbr_hashes.values())
         )
         self._new_unique = 0
+        if force:
+            self._refit_hawkes()
+            self._hawkes_fitted = True
+        else:
+            # Deferred: the fit over posts[:compact_base_events] is
+            # deterministic, so materialising it on first read (or at a
+            # forced compaction) yields the exact model an eager refit
+            # would have — without stalling the ingest path for it.
+            self._hawkes = None
+            self._hawkes_fitted = False
         self._save_checkpoint()
         removed = self.wal.truncate_through(self._applied_seq)
         self.report.wal_segments_truncated += removed
@@ -602,16 +788,54 @@ class StreamIngester:
             ]
         return payload
 
+    def _sorted_view(
+        self, community: str
+    ) -> tuple[np.ndarray, np.ndarray, list[np.ndarray]]:
+        """The append-order neighbourhood state in sorted-unique form.
+
+        One vectorised remap — rank the append-order hashes, re-key
+        every (row, member) pair through the rank permutation, one
+        global sort, split back per row — produces exactly what
+        ``radius_neighbors(np.unique(hashes), eps)`` returns: rows
+        sorted ascending, duplicate-free, self included.  The pair set
+        is append-order-invariant, so this is bit-identical however the
+        stream was batched.
+        """
+        hashes = self._nbr_hashes[community]
+        counts = self._nbr_counts[community]
+        rows = self._nbr_rows[community]
+        n = int(hashes.size)
+        if n == 0:
+            return hashes, counts, []
+        order = np.argsort(hashes).astype(np.int64)
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n, dtype=np.int64)
+        lengths = np.fromiter(
+            (len(row) for row in rows), dtype=np.int64, count=n
+        )
+        flat = (
+            np.concatenate(rows)
+            if int(lengths.sum())
+            else np.empty(0, dtype=np.int64)
+        )
+        keys = np.repeat(rank, lengths) * n + rank[flat]
+        keys.sort()
+        owners = keys // n
+        members = keys % n
+        starts = np.searchsorted(owners, np.arange(n), side="left")
+        stops = np.searchsorted(owners, np.arange(n), side="right")
+        sorted_rows = [members[starts[i] : stops[i]] for i in range(n)]
+        return hashes[order], counts[order], sorted_rows
+
     def _cluster_community(self, community: str) -> CommunityClustering:
         """Steps 2-3 from the maintained neighbourhoods (bit-identical).
 
         Labels and medoids are re-derived deterministically, exactly as
-        the batch runner's cached path does — the neighbourhoods came
-        from ``merge_radius_neighbors``, which is pinned bit-identical
-        to a cold ``radius_neighbors`` over the same unique set.
+        the batch runner's cached path does — the sorted view of the
+        maintained neighbourhoods is pinned bit-identical to a cold
+        ``radius_neighbors`` over the same unique set.
         """
-        unique = self._unique[community]
-        counts = self._counts[community]
+        unique, counts, neighbors = self._sorted_view(community)
         if unique.size == 0:
             return CommunityClustering(
                 community=community,
@@ -621,7 +845,7 @@ class StreamIngester:
                 medoids={},
             )
         result = dbscan_from_neighbors(
-            self._neighbors[community],
+            neighbors,
             min_samples=self.config.clustering_min_samples,
             counts=counts,
         )
@@ -638,24 +862,69 @@ class StreamIngester:
             medoids=medoids,
         )
 
+    def _annotate_community(
+        self, medoids: dict[int, np.uint64], exclude
+    ) -> dict[int, object]:
+        """Annotate one community's medoids through the per-hash memo.
+
+        A :class:`~repro.annotation.matcher.ClusterAnnotation` is a pure
+        function of the medoid hash for a fixed (KYM site, θ, exclude
+        set) — all fixed for a stream session (gallery flags are
+        replayed before any annotation on recovery) — so only
+        never-seen medoid hashes pay the gallery lookup; cached entries
+        are re-keyed to the new cluster id.  Medoids with no matching
+        entry are memoised as ``None`` (annotate_clusters drops them)
+        so they are not re-queried every compaction either.
+        """
+        missing = {
+            cluster_id: medoid
+            for cluster_id, medoid in medoids.items()
+            if int(medoid) not in self._annotation_memo
+        }
+        if missing:
+            fresh = annotate_clusters(
+                missing,
+                self.world.kym_site,
+                theta=self.config.theta,
+                exclude_screenshots=exclude,
+            )
+            for cluster_id, medoid in missing.items():
+                annotation = fresh.get(cluster_id)
+                self._annotation_memo[int(medoid)] = annotation
+        out: dict[int, object] = {}
+        for cluster_id, medoid in medoids.items():
+            annotation = self._annotation_memo[int(medoid)]
+            if annotation is None:
+                continue
+            if annotation.cluster_id != cluster_id:
+                annotation = replace(annotation, cluster_id=cluster_id)
+            out[cluster_id] = annotation
+        return out
+
     def _refit_hawkes(self) -> None:
-        """Sliding-window Hawkes refit over the matched occurrences.
+        """Sliding-window Hawkes refit over the compacted prefix.
 
         Pools one :class:`EventSequence` per annotated cluster (events
-        within ``hawkes_window_days`` of the stream head) and fits one
+        within ``hawkes_window_days`` of the prefix head) and fits one
         model via :func:`repro.hawkes.fit.fit_hawkes_em` — the online
-        influence model promoted alongside the new medoids.
+        influence model promoted alongside the new medoids.  Reads only
+        ``posts[:compact_base_events]`` and the association prefix over
+        it, both frozen since the compaction that scheduled this fit,
+        so a deferred fit sees exactly what an eager one did.
         """
         if not self._cluster_keys:
             self._hawkes = None
             return
+        n = self._compact_base_events
         community_index = {name: k for k, name in enumerate(COMMUNITIES)}
-        head = max(post.timestamp for post in self.posts)
+        head = float(self._ts_all[:n].max())
         window = self.stream.hawkes_window_days
         cutoff = head - window if window is not None else None
         times: dict[int, list[float]] = {}
         procs: dict[int, list[int]] = {}
-        for post, cluster_index in zip(self.posts, self._assoc_ids):
+        for post, cluster_index in zip(
+            self.posts[:n], self._assoc_ids[:n]
+        ):
             if cluster_index < 0:
                 continue
             if cutoff is not None and post.timestamp < cutoff:
@@ -682,11 +951,32 @@ class StreamIngester:
         self.report.hawkes_refits += 1
 
     def _save_checkpoint(self) -> None:
+        # Columnar encodings keep the pickle flat: posts as per-field
+        # columns instead of one dataclass instance each, neighbour
+        # rows as one flat array + row lengths instead of tens of
+        # thousands of small array objects.
+        neighbor_state = {}
+        for community in FRINGE_COMMUNITIES:
+            rows = self._nbr_rows[community]
+            neighbor_state[community] = {
+                "hashes": self._nbr_hashes[community],
+                "counts": self._nbr_counts[community],
+                "flat": (
+                    np.concatenate(rows)
+                    if rows
+                    else np.empty(0, dtype=np.int64)
+                ),
+                "lengths": np.fromiter(
+                    (len(row) for row in rows),
+                    dtype=np.int64,
+                    count=len(rows),
+                ),
+            }
         payload = {
-            "posts": self.posts,
-            "unique": self._unique,
-            "counts": self._counts,
-            "neighbors": self._neighbors,
+            "posts": _encode_posts(
+                self.posts, self._phash_all, self._ts_all
+            ),
+            "neighbor_state": neighbor_state,
             "screenshot": self._screenshot,
             "clusterings": self._clusterings,
             "annotations": self._annotations,
@@ -695,6 +985,7 @@ class StreamIngester:
             "assoc_ids": self._assoc_ids,
             "assoc_dists": self._assoc_dists,
             "hawkes": self._hawkes,
+            "hawkes_fitted": self._hawkes_fitted,
             "applied_seq": self._applied_seq,
             "compact_base_events": self._compact_base_events,
             "compact_base_unique": self._compact_base_unique,
@@ -713,7 +1004,16 @@ class StreamIngester:
 
     @property
     def hawkes_model(self):
-        """The last compaction's Hawkes fit (``None`` before the first)."""
+        """The last compaction's Hawkes fit (``None`` before the first).
+
+        Automatic compactions defer the fit; the first read materialises
+        it over the compacted prefix — the exact model an eager refit
+        would have produced (the input prefix is frozen and the EM fit
+        is deterministic).
+        """
+        if not self._hawkes_fitted:
+            self._refit_hawkes()
+            self._hawkes_fitted = True
         return self._hawkes
 
     def result(self) -> PipelineResult:

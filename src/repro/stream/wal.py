@@ -10,22 +10,31 @@ prefix always leads the applied prefix.
 Record framing follows the ``RPC1`` checkpoint container from
 :mod:`repro.utils.io` (magic, digest, length-framed payload), with a
 sequence number so replay can skip records already covered by a
-checkpoint::
+checkpoint, and a flags byte carrying the group-commit bit::
 
-    b"RWL1" | sha256(seq || payload) (32B) | seq (8B BE) | len (4B BE) | payload
+    b"RWL2" | sha256(seq || flags || payload) (32B) | seq (8B BE)
+            | flags (1B) | len (4B BE) | payload
 
 Records live in numbered segment files (``wal-00000000.seg``, rotated
 at ``segment_max_bytes``) so compaction can drop the durable history
 covered by a checkpoint with whole-file unlinks
 (:meth:`WriteAheadLog.truncate_through`) instead of rewriting a log.
 
+Group commit: :meth:`WriteAheadLog.append_many` frames a whole batch of
+records, writes them in one buffered write, and fsyncs **once** — the
+fixed fsync cost is amortised over the group.  Only the last frame of a
+group carries the COMMIT flag (bit 0); a single :meth:`append` is a
+group of one, so its frame always commits.  A group is durable as a
+unit: no caller is acknowledged until the commit frame's fsync returns.
+
 Crash anatomy on open: a crash mid-append can only leave a *torn tail*
-— a partial frame at the end of the **last** segment.  The scan
-truncates it (those events were never acknowledged; the ingester
-re-reads them from its cursor) and keeps going.  Any other framing or
-digest failure is *mid-file corruption* — impossible from a crash,
-so it raises :class:`WALCorruptError` instead of silently dropping
-acknowledged records.
+at the end of the **last** segment — a partial frame, or intact frames
+of a group whose commit frame never landed.  The scan truncates back to
+the end of the last *committed* frame (those events were never
+acknowledged; the ingester re-reads them from its cursor) and keeps
+going.  Any other framing or digest failure is *mid-file corruption* —
+impossible from a crash, so it raises :class:`WALCorruptError` instead
+of silently dropping acknowledged records.
 """
 
 from __future__ import annotations
@@ -40,9 +49,11 @@ from typing import Callable
 
 __all__ = ["WALCorruptError", "WALError", "WriteAheadLog"]
 
-_WAL_MAGIC = b"RWL1"
-# magic + sha256 digest + 8-byte seq + 4-byte payload length
-_HEADER_LEN = len(_WAL_MAGIC) + 32 + 8 + 4
+_WAL_MAGIC = b"RWL2"
+# magic + sha256 digest + 8-byte seq + 1-byte flags + 4-byte payload length
+_HEADER_LEN = len(_WAL_MAGIC) + 32 + 8 + 1 + 4
+# Flags bit 0: this frame commits its group (always set on single appends).
+_FLAG_COMMIT = 0x01
 
 
 class WALError(RuntimeError):
@@ -64,13 +75,15 @@ class _Segment:
         self.size = 0
 
 
-def _frame(seq: int, payload: bytes) -> bytes:
+def _frame(seq: int, payload: bytes, *, commit: bool) -> bytes:
     seq_bytes = seq.to_bytes(8, "big")
-    digest = hashlib.sha256(seq_bytes + payload).digest()
+    flags = bytes([_FLAG_COMMIT if commit else 0])
+    digest = hashlib.sha256(seq_bytes + flags + payload).digest()
     return (
         _WAL_MAGIC
         + digest
         + seq_bytes
+        + flags
         + len(payload).to_bytes(4, "big")
         + payload
     )
@@ -82,20 +95,27 @@ def _parse_segment(
     """Parse one segment's frames.
 
     Returns ``(records, good_end, torn)`` where ``records`` holds
-    ``(seq, payload_start, payload_len)`` triples, ``good_end`` is the
-    offset past the last intact record, and ``torn`` counts partial
-    tail records dropped (0 or 1; only ever nonzero for the final
-    segment).  Raises :class:`WALCorruptError` for damage that cannot
-    be a torn tail.
+    ``(seq, payload_start, payload_len)`` triples for *committed*
+    frames, ``good_end`` is the offset past the last commit frame, and
+    ``torn`` counts truncation events (0 or 1; only ever nonzero for
+    the final segment).  A torn tail is a partial frame **or** intact
+    frames of a group whose commit frame never landed — either way the
+    whole uncommitted suffix is dropped as one event, because a group
+    is durable only as a unit.  Raises :class:`WALCorruptError` for
+    damage that cannot be a torn tail.
     """
     records: list[tuple[int, int, int]] = []
+    # Frames of the group being accumulated; promoted to ``records``
+    # only when a commit frame closes the group.
+    pending: list[tuple[int, int, int]] = []
+    good_end = 0
     offset = 0
     size = len(blob)
     while offset < size:
         remaining = size - offset
         if remaining < _HEADER_LEN:
             if final:
-                return records, offset, 1
+                return records, good_end, 1
             raise WALCorruptError(
                 f"{path}: truncated record header mid-log at offset {offset}"
             )
@@ -105,28 +125,45 @@ def _parse_segment(
             )
         digest = blob[offset + 4 : offset + 36]
         seq_bytes = blob[offset + 36 : offset + 44]
-        payload_len = int.from_bytes(blob[offset + 44 : offset + 48], "big")
+        flags = blob[offset + 44]
+        payload_len = int.from_bytes(blob[offset + 45 : offset + 49], "big")
         end = offset + _HEADER_LEN + payload_len
         if end > size:
             if final:
-                return records, offset, 1
+                return records, good_end, 1
             raise WALCorruptError(
                 f"{path}: truncated record payload mid-log at offset {offset}"
             )
         payload = blob[offset + _HEADER_LEN : end]
-        if hashlib.sha256(seq_bytes + payload).digest() != digest:
+        if (
+            hashlib.sha256(seq_bytes + bytes([flags]) + payload).digest()
+            != digest
+        ):
             if final and end == size:
                 # Digest failure on the very last record: a torn write
                 # that happened to cover the full frame length.
-                return records, offset, 1
+                return records, good_end, 1
             raise WALCorruptError(
                 f"{path}: record digest mismatch at offset {offset} "
                 "(mid-file corruption)"
             )
-        records.append(
+        pending.append(
             (int.from_bytes(seq_bytes, "big"), offset + _HEADER_LEN, payload_len)
         )
         offset = end
+        if flags & _FLAG_COMMIT:
+            records.extend(pending)
+            pending.clear()
+            good_end = offset
+    if pending:
+        # Intact frames with no commit frame behind them: the crash hit
+        # between a group's frames and its fsync.  None of them were
+        # acknowledged, so the whole group is a torn tail.
+        if final:
+            return records, good_end, 1
+        raise WALCorruptError(
+            f"{path}: uncommitted group tail mid-log at offset {good_end}"
+        )
     return records, offset, 0
 
 
@@ -258,40 +295,77 @@ class WriteAheadLog:
     def append(self, record: object) -> int:
         """Durably append one record; returns its sequence number.
 
-        The frame is fully written and (by default) fsynced before the
-        sequence number is returned — a record whose append returned is
-        guaranteed to survive a crash and be replayed.
+        A group of one: the frame carries the COMMIT flag and is fully
+        written and (by default) fsynced before the sequence number is
+        returned — a record whose append returned is guaranteed to
+        survive a crash and be replayed.
         """
-        seq = self.next_seq
-        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
-        frame = _frame(seq, payload)
-        directive = self._chaos() if self._chaos is not None else None
-        if directive is not None and getattr(directive, "action", None) == "hang":
-            time.sleep(getattr(directive, "delay_s", 0.0))
-            directive = None
+        return self.append_many([record])[0]
+
+    def append_many(self, records: list[object]) -> list[int]:
+        """Durably append a batch as one commit group; returns its seqs.
+
+        All frames are written in a single buffered write followed by a
+        single fsync — the group-commit fast path.  Only the last frame
+        carries the COMMIT flag, so a crash anywhere before the fsync
+        returns leaves an uncommitted tail that recovery truncates as a
+        unit: either the whole group is durable or none of it is.
+
+        The chaos hook is consulted once per frame (matching the
+        one-consult-per-record cadence of single appends), so a ``kill``
+        directive armed at frame *k* writes frames ``0..k-1`` intact
+        plus half of frame *k* — the exact torn-mid-group tail a power
+        cut during the group write would leave.
+        """
+        if not records:
+            return []
+        base = self.next_seq
+        frames = []
+        for position, record in enumerate(records):
+            payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+            frames.append(
+                _frame(
+                    base + position,
+                    payload,
+                    commit=position == len(records) - 1,
+                )
+            )
         handle = self._active_handle()
-        if directive is not None and getattr(directive, "action", None) == "kill":
-            # Simulate a power cut mid-append: half the frame reaches
-            # the disk, then the process dies. Recovery must truncate
-            # this torn tail and re-read the batch from the source.
-            handle.write(frame[: max(1, len(frame) // 2)])
-            handle.flush()
-            os.fsync(handle.fileno())
-            os._exit(17)
-        handle.write(frame)
+        for position, frame in enumerate(frames):
+            directive = self._chaos() if self._chaos is not None else None
+            if directive is None:
+                continue
+            if getattr(directive, "action", None) == "hang":
+                time.sleep(getattr(directive, "delay_s", 0.0))
+                continue
+            if getattr(directive, "action", None) == "kill":
+                # Simulate a power cut mid-group: every frame before
+                # this one plus half of this frame reach the disk, then
+                # the process dies.  No commit frame landed, so recovery
+                # must truncate the whole group and re-read the batch
+                # from the source.
+                handle.write(b"".join(frames[:position]))
+                handle.write(frame[: max(1, len(frame) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                os._exit(17)
+        group = b"".join(frames)
+        handle.write(group)
         handle.flush()
         if self.fsync:
             os.fsync(handle.fileno())
         active = self._active
         if active.first_seq is None:
-            active.first_seq = seq
-        active.last_seq = seq
-        active.size += len(frame)
-        self.next_seq = seq + 1
-        self.records_appended += 1
+            active.first_seq = base
+        active.last_seq = base + len(frames) - 1
+        active.size += len(group)
+        self.next_seq = base + len(frames)
+        self.records_appended += len(frames)
+        # Rotation is checked after the group: a group never spans
+        # segments, so parsing one segment sees whole groups only.
         if active.size >= self.segment_max_bytes:
             self._close_handle()
-        return seq
+        return list(range(base, base + len(frames)))
 
     def _close_handle(self) -> None:
         if self._handle is not None:

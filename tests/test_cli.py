@@ -110,6 +110,61 @@ class TestExitCodes:
         assert "dead-letter" in out  # the poison lines are accounted
 
 
+class TestCoalesceFlags:
+    def test_parser_accepts_coalesce_window(self):
+        args = build_parser().parse_args(
+            ["--coalesce-window", "16", "serve-replay"]
+        )
+        assert args.coalesce_window == 16
+
+    def test_negative_coalesce_window_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--coalesce-window", "-1", "serve-replay"])
+
+    def test_parser_accepts_group_commit(self):
+        args = build_parser().parse_args(["--group-commit", "stream"])
+        assert args.group_commit is True
+        # tri-state default so the env var can fill in when absent
+        assert build_parser().parse_args(["stream"]).group_commit is None
+
+    def test_coalesced_replay_matches_per_request_accounting(
+        self, capsys, tmp_path
+    ):
+        stream = tmp_path / "stream.txt"
+        stream.write_text("42\n0xdeadbeef\nnot-a-hash\n-7\n17\n99\n")
+        base = ["--seed", "3", "--events-unit", "18", "--noise-scale", "0.5",
+                "--stream", str(stream), "serve-replay"]
+        assert main(base) == 0
+        per_request = capsys.readouterr().out
+        assert main(["--coalesce-window", "4", *base]) == 0
+        coalesced = capsys.readouterr().out
+        assert "coalesce=4" in coalesced
+        assert "conserved: 6 submitted" in coalesced
+        # identical terminal accounting either way
+        tail = per_request[per_request.index("conserved:"):]
+        assert tail == coalesced[coalesced.index("conserved:"):]
+
+    def test_env_var_sets_window(self, monkeypatch):
+        from repro.cli import _resolve_coalesce_window
+
+        monkeypatch.setenv("REPRO_COALESCE_WINDOW", "24")
+        args = build_parser().parse_args(["serve-replay"])
+        assert _resolve_coalesce_window(args) == 24
+        # explicit flag wins over the env var; 0 disables
+        args = build_parser().parse_args(
+            ["--coalesce-window", "0", "serve-replay"]
+        )
+        assert _resolve_coalesce_window(args) is None
+
+    def test_malformed_env_var_warns_naming_value(self, monkeypatch):
+        from repro.cli import _resolve_coalesce_window
+
+        monkeypatch.setenv("REPRO_COALESCE_WINDOW", "lots")
+        args = build_parser().parse_args(["serve-replay"])
+        with pytest.warns(RuntimeWarning, match="'lots'"):
+            assert _resolve_coalesce_window(args) is None
+
+
 class TestCacheCommand:
     ARGS = ["--seed", "3", "--events-unit", "18", "--noise-scale", "0.5"]
 

@@ -87,6 +87,42 @@ class TestMonitorOnSessionWorld:
         verdicts = monitor.classify_batch(hashes)
         assert all(v == verdicts[0] for v in verdicts)
 
+    def test_batch_equals_single_element_for_element(
+        self, monitor, pipeline_result
+    ):
+        # The dense batch kernel against the per-hash MIH path: every
+        # element's verdict — match, cluster, distance, tie-break, and
+        # flags — must be the one classify_hash returns.  Mix exact
+        # medoids, near-medoid perturbations (inside and outside θ),
+        # random probes, and duplicates.
+        medoids = np.array(
+            [
+                pipeline_result.annotations[key].medoid_hash
+                for key in pipeline_result.cluster_keys
+            ],
+            dtype=np.uint64,
+        )
+        rng = np.random.default_rng(7)
+        near = []
+        for medoid in medoids[:16]:
+            bits = rng.choice(64, size=rng.integers(1, 12), replace=False)
+            flipped = int(medoid)
+            for bit in bits:
+                flipped ^= 1 << int(bit)
+            near.append(flipped)
+        probes = rng.integers(0, 2**63, size=64, dtype=np.int64).astype(np.uint64)
+        corpus = np.concatenate(
+            [
+                medoids,
+                np.array(near, dtype=np.uint64),
+                probes,
+                medoids[:8],  # duplicates exercise the memoised scatter
+            ]
+        )
+        batch = monitor.classify_batch(corpus)
+        singles = [monitor.classify_hash(value) for value in corpus]
+        assert batch == singles
+
 
 class TestEmptyMonitor:
     def test_no_clusters_never_matches(self):

@@ -1,0 +1,414 @@
+"""Coalesced serving: batched drains must match the per-request path.
+
+The contract under test: with :attr:`ServiceConfig.coalesce_window`
+set, :meth:`MemeMatchService.drain` serves whole windows through one
+vectorised ``classify_batch`` fan-in — and every per-request outcome
+(verdict, status, shed/dead-letter reason) is the one the uncoalesced
+ladder would have produced, with conservation
+(``submitted == served + shed + timed_out + dead_lettered + pending``)
+holding at every drain boundary, including under mid-drain faults and
+mixed per-request deadlines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.faults import Fault, FaultInjector
+from repro.service import (
+    AdmissionQueue,
+    BreakerConfig,
+    Coalescer,
+    MemeMatchService,
+    ServiceConfig,
+    VirtualClock,
+)
+from repro.utils.retry import RetryPolicy, TransientError
+
+from tests.test_service import (
+    MEDOID_A,
+    MEDOID_B,
+    identity_config,
+    tiny_result,
+)
+
+
+def coalesced_config(window=8, **overrides):
+    return identity_config(coalesce_window=window, **overrides)
+
+
+def make_pair(**overrides):
+    """(uncoalesced, coalesced) services over the same tiny index."""
+    bare = MemeMatchService(tiny_result(), config=identity_config(**overrides))
+    fast = MemeMatchService(
+        tiny_result(), config=coalesced_config(**overrides)
+    )
+    return bare, fast
+
+
+MIXED_PAYLOADS = [
+    MEDOID_A,
+    MEDOID_B,
+    MEDOID_A ^ 0b11,  # within theta of A
+    0x1234_5678_9ABC_DEF0,  # matches nothing
+    MEDOID_A,  # duplicate: memoised on the batch path
+    np.uint64(MEDOID_B),
+]
+
+
+def outcome(response):
+    return (
+        response.status,
+        response.verdict,
+        response.reason,
+    )
+
+
+class TestOfferMany:
+    """offer_many must be decision-for-decision identical to offers."""
+
+    @pytest.mark.parametrize(
+        "kwargs, n_items, prefill",
+        [
+            (dict(max_depth=None), 12, 0),
+            (dict(max_depth=10, shed_watermark=3), 8, 0),
+            (dict(max_depth=4), 8, 0),
+            (dict(max_depth=6, shed_watermark=6), 9, 2),
+            (dict(max_depth=5, shed_watermark=2), 4, 2),
+            (dict(max_depth=3), 5, 3),
+        ],
+    )
+    def test_matches_sequential_offers(self, kwargs, n_items, prefill):
+        bulk = AdmissionQueue(**kwargs)
+        loop = AdmissionQueue(**kwargs)
+        for i in range(prefill):
+            bulk.offer(("pre", i))
+            loop.offer(("pre", i))
+        items = [("item", i) for i in range(n_items)]
+        bulk_decisions = bulk.offer_many(items)
+        loop_decisions = [loop.offer(item) for item in items]
+        assert bulk_decisions == loop_decisions
+        assert len(bulk) == len(loop)
+        assert bulk.peak_depth == loop.peak_depth
+        drained = []
+        while (item := bulk.pop()) is not None:
+            drained.append(item)
+        expected = []
+        while (item := loop.pop()) is not None:
+            expected.append(item)
+        assert drained == expected
+
+    def test_empty_burst(self):
+        queue = AdmissionQueue(max_depth=2)
+        assert queue.offer_many([]) == []
+
+
+class TestSubmitMany:
+    def test_aligned_shed_responses(self):
+        service = MemeMatchService(
+            tiny_result(),
+            config=identity_config(max_queue_depth=8, shed_watermark=3),
+        )
+        out = service.submit_many(MIXED_PAYLOADS)
+        assert [r is None for r in out] == [True] * 3 + [False] * 3
+        assert all(r.status == "shed" for r in out[3:])
+        assert all(r.reason == "queue-watermark" for r in out[3:])
+        assert service.stats.submitted == 6
+        assert service.stats.admitted == 3
+        assert service.stats.shed == 3
+        assert service.stats.reconciles(pending=service.pending)
+
+    def test_ids_keep_increasing_past_submit(self):
+        service = MemeMatchService(tiny_result(), config=identity_config())
+        service.submit(MEDOID_A)
+        out = service.submit_many([MEDOID_B, MEDOID_A])
+        assert out == [None, None]
+        responses = service.drain()
+        assert [r.request_id for r in responses] == [0, 1, 2]
+
+
+class TestCoalescedIdentity:
+    def test_mixed_batch_outcomes_identical(self):
+        bare, fast = make_pair()
+        expected = bare.serve(MIXED_PAYLOADS)
+        assert all(r is None for r in fast.submit_many(MIXED_PAYLOADS))
+        got = fast.drain()
+        assert [outcome(r) for r in got] == [outcome(r) for r in expected]
+        assert [r.request_id for r in got] == [r.request_id for r in expected]
+        assert fast.stats.served == bare.stats.served
+        assert fast.stats.reconciles(pending=0)
+
+    def test_poison_fallback_reasons_identical(self):
+        # A batch the vectorised validator rejects outright: the
+        # fallback must reproduce the scalar path's per-request
+        # dead-letter reasons, including inputs only the scalar check
+        # accepts (integral floats).
+        payloads = [
+            MEDOID_A,
+            "not-a-hash",
+            -1,
+            float(5.0),  # scalar path accepts: integral float
+            2**64,  # out of range
+            MEDOID_B,
+            3.25,  # non-integral float
+        ]
+        bare, fast = make_pair()
+        expected = bare.serve(payloads)
+        fast.submit_many(payloads)
+        got = fast.drain()
+        assert [outcome(r) for r in got] == [outcome(r) for r in expected]
+        assert fast.stats.dead_lettered == bare.stats.dead_lettered
+        assert [d.reason for d in fast.dead_letters] == [
+            d.reason for d in bare.dead_letters
+        ]
+        assert fast.stats.reconciles(pending=0)
+
+    def test_windows_partition_the_queue(self):
+        service = MemeMatchService(
+            tiny_result(), config=coalesced_config(window=4)
+        )
+        payloads = [MEDOID_A, MEDOID_B] * 5
+        service.submit_many(payloads)
+        responses = service.drain()
+        assert len(responses) == 10
+        assert all(r.status == "ok" for r in responses)
+        # 10 requests over windows of 4 -> ceil(10/4) = 3 classify calls.
+        assert service.stats.served == 10
+
+    def test_max_requests_respected(self):
+        service = MemeMatchService(
+            tiny_result(), config=coalesced_config(window=4)
+        )
+        service.submit_many([MEDOID_A] * 10)
+        first = service.drain(max_requests=6)
+        assert len(first) == 6
+        assert service.pending == 4
+        assert service.stats.reconciles(pending=4)
+        rest = service.drain()
+        assert len(rest) == 4
+
+
+class TestMixedDeadlines:
+    def scenario(self, config):
+        """Already-expired, nearly-expired, and fresh requests in one drain."""
+        clock = VirtualClock()
+        service = MemeMatchService(
+            tiny_result(), config=config, clock=clock.time, sleep=clock.sleep
+        )
+        # Request 0 expires while queued; 1 is nearly expired but
+        # still inside its budget at drain time; 2 has no deadline.
+        service.submit(MEDOID_A, deadline_s=1.0)
+        service.submit(MEDOID_B, deadline_s=2.5)
+        service.submit(MEDOID_A ^ 0b1)
+        clock.advance(2.0)
+        return service, service.drain()
+
+    def test_outcomes_match_per_request_path(self):
+        bare, bare_responses = self.scenario(identity_config())
+        fast, fast_responses = self.scenario(coalesced_config())
+        assert [outcome(r) for r in fast_responses] == [
+            outcome(r) for r in bare_responses
+        ]
+        assert fast_responses[0].status == "timed-out"
+        assert fast_responses[0].reason == "expired-in-queue"
+        assert [r.status for r in fast_responses[1:]] == ["ok", "ok"]
+        assert fast.stats.as_dict() == bare.stats.as_dict()
+        assert fast.stats.reconciles(pending=0)
+
+    def test_deadline_expiring_mid_batch_times_out_individually(self):
+        clock = VirtualClock()
+        service = MemeMatchService(
+            tiny_result(),
+            config=coalesced_config(),
+            clock=clock.time,
+            sleep=clock.sleep,
+        )
+        # Classification itself takes 1.0s of virtual time: request 1's
+        # budget covers the queue wait but not the batch.
+        inner = service._monitor.classify_batch
+
+        def slow_classify(values):
+            clock.advance(1.0)
+            return inner(values)
+
+        service._monitor.classify_batch = slow_classify
+        service.submit(MEDOID_A, deadline_s=10.0)
+        service.submit(MEDOID_B, deadline_s=0.5)
+        service.submit(MEDOID_A)
+        responses = service.drain()
+        assert [r.status for r in responses] == ["ok", "timed-out", "ok"]
+        assert responses[1].reason == "expired-in-batch"
+        assert service.stats.timed_out == 1
+        assert service.stats.served == 2
+        assert service.stats.reconciles(pending=0)
+
+
+class TestFaultsMidDrain:
+    def test_transient_faults_retry_then_serve(self):
+        faults = FaultInjector(
+            [Fault("serve:classify", TransientError, times=2)]
+        )
+        clock = VirtualClock()
+        service = MemeMatchService(
+            tiny_result(),
+            config=coalesced_config(
+                retry=RetryPolicy(max_retries=3, base_delay=0.01)
+            ),
+            faults=faults,
+            clock=clock.time,
+            sleep=clock.sleep,
+        )
+        service.submit_many([MEDOID_A, MEDOID_B, MEDOID_A])
+        responses = service.drain()
+        assert [r.status for r in responses] == ["ok"] * 3
+        # One shared retry schedule for the whole window.
+        assert responses[0].attempts == 3
+        assert service.stats.retries == 2
+        assert service.stats.reconciles(pending=0)
+
+    def test_permanent_fault_dead_letters_whole_window_conserved(self):
+        faults = FaultInjector(
+            [Fault("serve:classify", TransientError, times=100)]
+        )
+        clock = VirtualClock()
+        service = MemeMatchService(
+            tiny_result(),
+            config=coalesced_config(
+                retry=RetryPolicy(max_retries=1, base_delay=0.01),
+                breaker=BreakerConfig(failure_threshold=5),
+            ),
+            faults=faults,
+            clock=clock.time,
+            sleep=clock.sleep,
+        )
+        service.submit_many([MEDOID_A, MEDOID_B, MEDOID_A, MEDOID_B])
+        responses = service.drain()
+        assert all(r.status == "dead-lettered" for r in responses)
+        assert all("classify-failed" in r.reason for r in responses)
+        assert service.stats.dead_lettered == 4
+        assert service.stats.reconciles(pending=0)
+
+    def test_breaker_open_sheds_whole_window(self):
+        clock = VirtualClock()
+        service = MemeMatchService(
+            tiny_result(),
+            config=coalesced_config(
+                breaker=BreakerConfig(
+                    failure_threshold=1, open_duration_s=100.0
+                ),
+            ),
+            clock=clock.time,
+            sleep=clock.sleep,
+        )
+        service.breaker.record_failure()  # breaker now open
+        service.submit_many([MEDOID_A, MEDOID_B, MEDOID_A])
+        responses = service.drain()
+        assert all(r.status == "shed" for r in responses)
+        assert all(r.reason == "breaker-open" for r in responses)
+        assert service.stats.breaker_fast_fails == 3
+        assert service.stats.reconciles(pending=0)
+
+    def test_half_open_probes_fall_back_to_per_request(self):
+        clock = VirtualClock()
+        service = MemeMatchService(
+            tiny_result(),
+            config=coalesced_config(
+                breaker=BreakerConfig(
+                    failure_threshold=1,
+                    open_duration_s=1.0,
+                    probe_successes=2,
+                ),
+            ),
+            clock=clock.time,
+            sleep=clock.sleep,
+        )
+        service.breaker.record_failure()
+        clock.advance(1.5)  # open -> half-open
+        assert service.breaker.probing
+        service.submit_many([MEDOID_A, MEDOID_B, MEDOID_A])
+        responses = service.drain()
+        assert [r.status for r in responses] == ["ok"] * 3
+        # Each request was an individual probe (until the breaker
+        # closed after two successes), not one coalesced probe.
+        assert service.stats.probes == 2
+        assert service.breaker.state == "closed"
+        assert service.stats.reconciles(pending=0)
+
+
+class TestCoalescer:
+    def test_auto_flush_at_window(self):
+        service = MemeMatchService(
+            tiny_result(), config=coalesced_config(window=3)
+        )
+        coalescer = Coalescer(service, window=3)
+        assert coalescer.submit(MEDOID_A) == []
+        assert coalescer.submit(MEDOID_B) == []
+        responses = coalescer.submit(MEDOID_A ^ 0b1)
+        assert [r.status for r in responses] == ["ok"] * 3
+        assert len(coalescer) == 0
+        assert coalescer.flushes == 1
+        assert service.stats.reconciles(pending=0)
+
+    def test_flush_serves_partial_window_in_order(self):
+        service = MemeMatchService(tiny_result(), config=coalesced_config())
+        coalescer = Coalescer(service, window=10)
+        coalescer.submit(MEDOID_A)
+        coalescer.submit("poison")
+        coalescer.submit(MEDOID_B)
+        assert len(coalescer) == 3
+        responses = coalescer.flush()
+        assert [r.request_id for r in responses] == [0, 1, 2]
+        assert [r.status for r in responses] == [
+            "ok", "dead-lettered", "ok",
+        ]
+        assert coalescer.flush() == []
+
+    def test_per_request_deadlines_preserved(self):
+        # Deadlines are staged per request and applied per burst: the
+        # first two arrive already out of budget, the third has none.
+        clock = VirtualClock()
+        service = MemeMatchService(
+            tiny_result(),
+            config=coalesced_config(),
+            clock=clock.time,
+            sleep=clock.sleep,
+        )
+        coalescer = Coalescer(service, window=10)
+        coalescer.submit(MEDOID_A, deadline_s=-0.5)
+        coalescer.submit(MEDOID_B, deadline_s=-0.5)
+        coalescer.submit(MEDOID_A)
+        responses = coalescer.flush()
+        assert [r.status for r in responses] == [
+            "timed-out", "timed-out", "ok",
+        ]
+        assert [r.reason for r in responses[:2]] == ["expired-in-queue"] * 2
+        assert service.stats.reconciles(pending=0)
+
+    def test_window_validation(self):
+        service = MemeMatchService(tiny_result(), config=coalesced_config())
+        with pytest.raises(ValueError):
+            Coalescer(service, window=0)
+
+    def test_default_window_follows_service_config(self):
+        service = MemeMatchService(
+            tiny_result(), config=coalesced_config(window=5)
+        )
+        assert Coalescer(service).window == 5
+
+    def test_identical_to_direct_serve(self):
+        bare, fast = make_pair()
+        expected = bare.serve(MIXED_PAYLOADS)
+        coalescer = Coalescer(fast, window=4)
+        responses = []
+        for payload in MIXED_PAYLOADS:
+            responses.extend(coalescer.submit(payload))
+        responses.extend(coalescer.flush())
+        assert [outcome(r) for r in responses] == [
+            outcome(r) for r in expected
+        ]
+
+
+class TestConfigValidation:
+    def test_coalesce_window_validated(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(coalesce_window=0)
+        assert ServiceConfig(coalesce_window=None).coalesce_window is None

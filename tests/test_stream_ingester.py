@@ -19,6 +19,7 @@ from repro.core.config import PipelineConfig
 from repro.core.faults import STREAM_SITES, Fault, FaultInjector
 from repro.stream import (
     ENV_COMPACT_THRESHOLD,
+    ENV_GROUP_COMMIT,
     ENV_WAL_DIR,
     EventSource,
     PrefixWorld,
@@ -146,6 +147,71 @@ class TestStreamedEqualsBatch:
             _run_to_end(ingester, stream_world.event_source(), limit=600)
             assert ingester.report.compactions == 1
             assert ingester.drift() <= 100.0
+
+
+class TestGroupCommit:
+    """Group-commit drain: identical state, fewer fsyncs."""
+
+    def test_group_commit_bit_identical_to_batch(
+        self, tmp_path, stream_world, batch_result
+    ):
+        with StreamIngester(
+            stream_world,
+            stream=_config(tmp_path, group_commit=True),
+        ) as ingester:
+            # chunk > batch_size so each drain commits a multi-frame
+            # group (200 events -> 4 frames, one fsync).
+            _run_to_end(ingester, stream_world.event_source(), chunk=200)
+            ingester.compact(force=True)
+            result = ingester.result()
+            report = ingester.report
+        assert state_equals(result, batch_result)
+        assert report.events_ingested == len(stream_world.posts)
+
+    def test_group_commit_same_wal_records_as_ungrouped(
+        self, tmp_path, stream_world
+    ):
+        grouped_dir = tmp_path / "grouped"
+        single_dir = tmp_path / "single"
+        counts = {}
+        for name, directory, grouped in (
+            ("grouped", grouped_dir, True),
+            ("single", single_dir, False),
+        ):
+            with StreamIngester(
+                stream_world,
+                stream=_config(
+                    directory, compact_threshold=100.0, group_commit=grouped
+                ),
+            ) as ingester:
+                _run_to_end(
+                    ingester,
+                    stream_world.event_source(),
+                    chunk=200,
+                    limit=400,
+                )
+                counts[name] = ingester.report.wal_records
+        # Same replay granularity either way: one record per
+        # batch_size chunk; only the fsync cadence differs.
+        assert counts["grouped"] == counts["single"]
+
+    def test_group_commit_recovery_bit_identical(
+        self, tmp_path, stream_world
+    ):
+        source = stream_world.event_source()
+        config = _config(
+            tmp_path, compact_threshold=100.0, group_commit=True
+        )
+        ingester = StreamIngester(stream_world, stream=config)
+        _run_to_end(ingester, source, chunk=200, limit=400)
+        _crash(ingester)
+        with StreamIngester(stream_world, stream=config) as recovered:
+            assert recovered.n_events == 400
+            assert recovered.report.recoveries == 1
+            recovered.compact(force=True)
+            result = recovered.result()
+        prefix_batch = run_pipeline(PrefixWorld(stream_world, 400))
+        assert state_equals(result, prefix_batch)
 
 
 class TestRecovery:
@@ -334,6 +400,19 @@ class TestEnvValidation:
     def test_malformed_threshold_warns_naming_value(self, raw):
         with pytest.warns(RuntimeWarning, match=raw):
             resolved = stream_config_from_env({ENV_COMPACT_THRESHOLD: raw})
+        assert resolved == {}
+
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [("1", True), ("true", True), ("YES", True), ("0", False), ("off", False)],
+    )
+    def test_group_commit_env_resolves(self, raw, expected):
+        resolved = stream_config_from_env({ENV_GROUP_COMMIT: raw})
+        assert resolved == {"group_commit": expected}
+
+    def test_malformed_group_commit_warns_naming_value(self):
+        with pytest.warns(RuntimeWarning, match="maybe"):
+            resolved = stream_config_from_env({ENV_GROUP_COMMIT: "maybe"})
         assert resolved == {}
 
     def test_stream_config_validation(self, tmp_path):
